@@ -1,0 +1,571 @@
+// Benchmarks: one per paper artifact (tables I-VIII, figures 2-7) plus the
+// component and ablation benches DESIGN.md calls out. Artifact benches run
+// the same code paths as `cmd/experiments -run <id>` at the reduced quick
+// scale so `go test -bench=. -benchmem` stays tractable; the paper-scale
+// numbers in EXPERIMENTS.md come from the cmd/experiments harness.
+package smarteryou_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"smarteryou/internal/attack"
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/dsp"
+	"smarteryou/internal/experiments"
+	"smarteryou/internal/features"
+	"smarteryou/internal/ml"
+	"smarteryou/internal/sensing"
+	"smarteryou/internal/stats"
+)
+
+var (
+	benchDataOnce sync.Once
+	benchData     *experiments.Data
+)
+
+// quickBenchData builds (once) the shared reduced campaign substrate and
+// pre-warms the window caches so artifact benches measure evaluation, not
+// first-touch data generation.
+func quickBenchData(b *testing.B) *experiments.Data {
+	b.Helper()
+	benchDataOnce.Do(func() {
+		d, err := experiments.NewData(experiments.QuickConfig())
+		if err != nil {
+			b.Fatalf("NewData: %v", err)
+		}
+		for i := 0; i < d.Cfg.Users; i++ {
+			if _, err := d.UserWindows(i, 6); err != nil {
+				b.Fatalf("warm cache: %v", err)
+			}
+		}
+		benchData = d
+	})
+	return benchData
+}
+
+// --- Artifact benches: one per table and figure. ---
+
+func BenchmarkTable1_RelatedWorkRow(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_FisherScores(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_FeatureCorrelations(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable3(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4_CrossDeviceCorrelations(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable4(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5_ContextDetection(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable5(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable6_MLComparison(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable6(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7_Headline(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		// Table VII is memoized inside Data; benchmark the full evaluation
+		// path instead of the memo hit.
+		if _, err := d.EvaluateAuth(experiments.EvalOptions{
+			Devices:    experiments.DeviceCombination,
+			UseContext: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable8_PowerModel(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable8(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2_Demographics(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure2(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3_KSTests(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure3(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4_WindowSweep(b *testing.B) {
+	d := quickBenchData(b)
+	orig := experiments.Figure4Windows
+	experiments.Figure4Windows = []float64{6}
+	defer func() { experiments.Figure4Windows = orig }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure4(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5_DataSizeSweep(b *testing.B) {
+	d := quickBenchData(b)
+	orig := experiments.Figure5Sizes
+	experiments.Figure5Sizes = []float64{400}
+	defer func() { experiments.Figure5Sizes = orig }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure5(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6_MasqueradeCampaign(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure6(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7_DriftAndRetraining(b *testing.B) {
+	d := quickBenchData(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure7(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component benches: the real per-window costs of Section V-H. ---
+
+// benchStreams returns a fixed 60 s two-device recording.
+func benchStreams(b *testing.B) (*sensing.Stream, *sensing.Stream) {
+	b.Helper()
+	pop, err := sensing.NewPopulation(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := sensing.Session{User: pop.Users[0], Context: sensing.ContextMovingUse, Seconds: 60, Seed: 3}
+	phone, err := sess.Generate(sensing.DevicePhone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	watch, err := sess.Generate(sensing.DeviceWatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return phone, watch
+}
+
+func BenchmarkSensorGeneration(b *testing.B) {
+	pop, err := sensing.NewPopulation(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sensing.Session{
+			User: pop.Users[0], Context: sensing.ContextMovingUse, Seconds: 6, Seed: int64(i),
+		}.Generate(sensing.DevicePhone)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureExtraction6sWindow(b *testing.B) {
+	phone, _ := benchStreams(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := features.ExtractWindows(phone, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT300(b *testing.B) {
+	x := make([]float64, 300) // one 6 s window at 50 Hz
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsp.AmplitudeSpectrum(x, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKSTest(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 200)
+	y := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 0.3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.KSTest(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// paperSizedTrainingSet builds the N=720, M=28 problem of Section V-H1.
+func paperSizedTrainingSet(b *testing.B) ([][]float64, []bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, 720)
+	y := make([]bool, 720)
+	for i := range x {
+		row := make([]float64, 28)
+		base := -1.0
+		if i%2 == 0 {
+			base = 1.0
+		}
+		for j := range row {
+			row[j] = base + rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = i%2 == 0
+	}
+	return x, y
+}
+
+func BenchmarkKRRTrain(b *testing.B) {
+	x, y := paperSizedTrainingSet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		krr := ml.NewKRR(1)
+		if err := krr.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: Eq. 7's M x M primal solve vs Eq. 6's N x N dual solve.
+func BenchmarkKRRPrimalVsDual(b *testing.B) {
+	x, y := paperSizedTrainingSet(b)
+	b.Run("primal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			krr := &ml.KRR{Rho: 1, Kernel: ml.IdentityKernel{}, Mode: ml.KRRModePrimal}
+			if err := krr.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			krr := &ml.KRR{Rho: 1, Kernel: ml.IdentityKernel{}, Mode: ml.KRRModeDual}
+			if err := krr.Fit(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSVMTrain(b *testing.B) {
+	x, y := paperSizedTrainingSet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svm := ml.NewSVM()
+		if err := svm.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomForestTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([][]float64, 400)
+	labels := make([]string, 400)
+	for i := range x {
+		row := make([]float64, 14)
+		label := "stationary"
+		base := 0.0
+		if i%2 == 0 {
+			label = "moving"
+			base = 2.0
+		}
+		for j := range row {
+			row[j] = base + rng.NormFloat64()
+		}
+		x[i] = row
+		labels[i] = label
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := ml.NewRandomForest()
+		if err := rf.FitClasses(x, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildBenchAuthenticator trains a small production stack once.
+func buildBenchAuthenticator(b *testing.B) (*core.Authenticator, features.WindowSample) {
+	b.Helper()
+	pop, err := sensing.NewPopulation(4, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perUser := make([][]features.WindowSample, 4)
+	for i, u := range pop.Users {
+		perUser[i], err = features.Collect(u, features.CollectOptions{
+			WindowSeconds: 6, SessionSeconds: 90, Sessions: 1, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var impostor []features.WindowSample
+	for i := 1; i < 4; i++ {
+		impostor = append(impostor, perUser[i]...)
+	}
+	det, err := ctxdetect.Train(ctxdetect.FromSamples(impostor), ctxdetect.Config{Seed: 1, Trees: 15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle, err := core.Train(perUser[0], impostor, core.TrainConfig{
+		Mode: core.Mode{Combined: true, UseContext: true}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	auth, err := core.NewAuthenticator(det, bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return auth, perUser[0][0]
+}
+
+// BenchmarkAuthenticateWindow measures the paper's "testing time": context
+// detection + model dispatch + classification for one 6 s window.
+func BenchmarkAuthenticateWindow(b *testing.B) {
+	auth, sample := buildBenchAuthenticator(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := auth.Authenticate(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndWindow(b *testing.B) {
+	// Feature extraction + authentication: the complete per-window path
+	// of the testing module.
+	auth, _ := buildBenchAuthenticator(b)
+	phone, watch := benchStreams(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pw, err := features.ExtractWindows(phone, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ww, err := features.ExtractWindows(watch, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := range pw {
+			if _, err := auth.Authenticate(features.WindowSample{
+				Context: sensing.ContextMovingUse, Phone: pw[k], Watch: ww[k],
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Ablation: pruned 7-feature set vs the full 9-candidate set.
+func BenchmarkFeaturePruning(b *testing.B) {
+	d := quickBenchData(b)
+	b.Run("pruned7", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := d.EvaluateAuth(experiments.EvalOptions{
+				Devices:    experiments.DevicePhoneOnly,
+				UseContext: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full9", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := d.EvaluateAuth(experiments.EvalOptions{
+				Devices:    experiments.DevicePhoneOnly,
+				UseContext: true,
+				Extract: func(w features.WindowSample) []float64 {
+					return w.Phone.FullVector()
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMasqueradeTrial(b *testing.B) {
+	auth, _ := buildBenchAuthenticator(b)
+	pop, err := sensing.NewPopulation(4, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := attack.Run(auth, attack.Scenario{
+			Victim:         pop.Users[0],
+			Attackers:      pop.Users[1:2],
+			Trials:         1,
+			HorizonSeconds: 24,
+			Seed:           int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelBundleSerialization(b *testing.B) {
+	auth, _ := buildBenchAuthenticator(b)
+	_ = auth
+	pop, _ := sensing.NewPopulation(2, 13)
+	legit, err := features.Collect(pop.Users[0], features.CollectOptions{
+		WindowSeconds: 6, SessionSeconds: 60, Sessions: 1, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	impostor, err := features.Collect(pop.Users[1], features.CollectOptions{
+		WindowSeconds: 6, SessionSeconds: 60, Sessions: 1, Seed: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundle, err := core.Train(legit, impostor, core.TrainConfig{
+		Mode: core.Mode{Combined: true, UseContext: false}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := bundle.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.UnmarshalModelBundle(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Machine-unlearning benches: the O(M^2) online update of Section V-I's
+// fast path vs the O(M^3)-per-solve full retrain.
+func BenchmarkIncrementalKRRAdd(b *testing.B) {
+	inc, err := ml.NewIncrementalKRR(1, 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float64, 28)
+	for j := range x {
+		x[j] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x[0] = rng.NormFloat64()
+		if err := inc.AddSample(x, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalKRRAddRemove(b *testing.B) {
+	inc, err := ml.NewIncrementalKRR(1, 28)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	// Pre-fill a sliding window.
+	window := make([][]float64, 0, 400)
+	for i := 0; i < 400; i++ {
+		x := make([]float64, 28)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		if err := inc.AddSample(x, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+		window = append(window, x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, 28)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		if err := inc.AddSample(x, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+		oldest := window[0]
+		window = append(window[1:], x)
+		if err := inc.RemoveSample(oldest, i%2 == 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command authserver runs the cloud Authentication Server (Fig. 1): it
+// trains a user-agnostic context-detection model at startup, optionally
+// seeds an anonymized population, and then serves enrollment, model
+// training and model download over TCP.
+//
+// Usage:
+//
+//	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"smarteryou"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7600", "listen address")
+		key       = flag.String("key", "", "pre-shared HMAC key (required)")
+		seedUsers = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
+		seed      = flag.Int64("seed", 1, "synthetic data seed")
+	)
+	flag.Parse()
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "authserver: -key is required")
+		return 2
+	}
+	if *seedUsers < 2 {
+		fmt.Fprintln(os.Stderr, "authserver: -seed-users must be at least 2")
+		return 2
+	}
+
+	log.Printf("generating %d-user context-training corpus...", *seedUsers)
+	pop, err := smarteryou.NewPopulation(*seedUsers, *seed)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	population := make(map[string][]smarteryou.WindowSample, *seedUsers)
+	var ctxTrain []smarteryou.WindowSample
+	for i, u := range pop.Users {
+		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+			WindowSeconds:  6,
+			SessionSeconds: 120,
+			Sessions:       2,
+			Contexts: []smarteryou.Context{
+				smarteryou.ContextStationaryUse, smarteryou.ContextMovingUse,
+				smarteryou.ContextPhoneOnTable, smarteryou.ContextOnVehicle,
+			},
+			Seed: *seed + int64(i)*17,
+		})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		population[u.ID] = samples
+		ctxTrain = append(ctxTrain, samples...)
+	}
+	detector, err := smarteryou.TrainContextDetector(
+		smarteryou.ContextTrainingData(ctxTrain), smarteryou.DetectorConfig{Seed: *seed})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+
+	server, err := smarteryou.NewAuthServer(smarteryou.AuthServerConfig{
+		Key:      []byte(*key),
+		Detector: detector,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	server.SeedPopulation(population)
+	bound, err := server.Start(*addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	log.Printf("authentication server listening on %s (population: %d users)", bound, *seedUsers)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	if err := server.Close(); err != nil {
+		log.Printf("close: %v", err)
+		return 1
+	}
+	return 0
+}

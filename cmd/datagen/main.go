@@ -1,0 +1,169 @@
+// Command datagen materializes the synthetic sensor dataset to disk, for
+// inspection or for use by external tooling: either extracted feature
+// windows (JSON) or raw sensor streams (CSV).
+//
+// Usage:
+//
+//	datagen -users 5 -out dataset.json                 # feature windows
+//	datagen -format csv -user 0 -context moving-use -seconds 60 -out stream.csv
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"smarteryou"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		users   = flag.Int("users", 5, "population size (json format)")
+		user    = flag.Int("user", 0, "user index (csv format)")
+		seconds = flag.Float64("seconds", 60, "stream length (csv format)")
+		context = flag.String("context", "moving-use", "context: stationary-use|moving-use|phone-on-table|on-vehicle")
+		device  = flag.String("device", "phone", "device: phone|watch (csv format)")
+		format  = flag.String("format", "json", "output format: json (feature windows) or csv (raw stream)")
+		out     = flag.String("out", "", "output path (default stdout)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		w = f
+	}
+
+	switch *format {
+	case "json":
+		if err := writeJSON(w, *users, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case "csv":
+		if err := writeCSV(w, *users, *user, *seconds, *context, *device, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown format %q\n", *format)
+		return 2
+	}
+	return 0
+}
+
+// writeJSON emits every user's feature windows as one JSON document.
+func writeJSON(w *os.File, users int, seed int64) error {
+	pop, err := smarteryou.NewPopulation(users, seed)
+	if err != nil {
+		return err
+	}
+	type userRecord struct {
+		ID      string                    `json:"id"`
+		Gender  string                    `json:"gender"`
+		Age     string                    `json:"age"`
+		Windows []smarteryou.WindowSample `json:"windows"`
+	}
+	var records []userRecord
+	for i, u := range pop.Users {
+		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+			WindowSeconds: 6, SessionSeconds: 120, Sessions: 2, Days: 13,
+			Seed: seed + int64(i)*31,
+		})
+		if err != nil {
+			return err
+		}
+		records = append(records, userRecord{
+			ID:      u.ID,
+			Gender:  u.Gender.String(),
+			Age:     u.Age.String(),
+			Windows: samples,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// writeCSV emits one raw sensor stream, one sample per row.
+func writeCSV(w *os.File, users, userIdx int, seconds float64, context, device string, seed int64) error {
+	pop, err := smarteryou.NewPopulation(users, seed)
+	if err != nil {
+		return err
+	}
+	if userIdx < 0 || userIdx >= len(pop.Users) {
+		return fmt.Errorf("datagen: user index %d out of range [0,%d)", userIdx, len(pop.Users))
+	}
+	var ctx smarteryou.Context
+	switch context {
+	case "stationary-use":
+		ctx = smarteryou.ContextStationaryUse
+	case "moving-use":
+		ctx = smarteryou.ContextMovingUse
+	case "phone-on-table":
+		ctx = smarteryou.ContextPhoneOnTable
+	case "on-vehicle":
+		ctx = smarteryou.ContextOnVehicle
+	default:
+		return fmt.Errorf("datagen: unknown context %q", context)
+	}
+	var dev smarteryou.Device
+	switch device {
+	case "phone":
+		dev = smarteryou.DevicePhone
+	case "watch":
+		dev = smarteryou.DeviceWatch
+	default:
+		return fmt.Errorf("datagen: unknown device %q", device)
+	}
+	stream, err := smarteryou.Session{
+		User:    pop.Users[userIdx],
+		Context: ctx,
+		Seconds: seconds,
+		Seed:    seed + 7,
+	}.Generate(dev)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{
+		"t", "acc_x", "acc_y", "acc_z", "gyr_x", "gyr_y", "gyr_z",
+		"mag_x", "mag_y", "mag_z", "ori_x", "ori_y", "ori_z", "light",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for i, s := range stream.Samples {
+		row := []string{
+			f(float64(i) / stream.Rate),
+			f(s.Acc.X), f(s.Acc.Y), f(s.Acc.Z),
+			f(s.Gyr.X), f(s.Gyr.Y), f(s.Gyr.Z),
+			f(s.Mag.X), f(s.Mag.Y), f(s.Mag.Z),
+			f(s.Ori.X), f(s.Ori.Y), f(s.Ori.Z),
+			f(s.Light),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,105 @@
+// Command experiments regenerates the tables and figures of the
+// SmarterYou paper (DSN 2017) from the synthetic reproduction campaign.
+//
+// Usage:
+//
+//	experiments -run table7            # one artifact
+//	experiments -run all               # every artifact
+//	experiments -list                  # list artifact ids
+//	experiments -run figure4 -quick    # reduced campaign (fast)
+//	experiments -run table7 -users 35 -targets 10 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"smarteryou/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runID   = flag.String("run", "", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "use the reduced quick campaign")
+		users   = flag.Int("users", 0, "population size (default 35, paper scale)")
+		targets = flag.Int("targets", 0, "target users to average over (default 5)")
+		seed    = flag.Int64("seed", 0, "campaign seed (default 1)")
+		timing  = flag.Bool("time", true, "print per-experiment wall time")
+		outDir  = flag.String("out", "", "also write each report to <out>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, err := experiments.Title(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Printf("%-10s %s\n", id, title)
+		}
+		return 0
+	}
+	if *runID == "" {
+		fmt.Fprintln(os.Stderr, "usage: experiments -run <id|all> [-quick] [-users N] [-targets N] [-seed S]")
+		fmt.Fprintln(os.Stderr, "       experiments -list")
+		return 2
+	}
+
+	cfg := experiments.Config{}
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *targets > 0 {
+		cfg.Targets = *targets
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	data, err := experiments.NewData(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		report, err := experiments.Run(id, data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			return 1
+		}
+		fmt.Printf("=== %s: %s ===\n\n", report.ID, report.Title)
+		fmt.Println(strings.TrimRight(report.Text, "\n"))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, report.ID+".txt")
+			if err := os.WriteFile(path, []byte(report.Text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				return 1
+			}
+		}
+		if *timing {
+			fmt.Printf("\n(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Println()
+		}
+	}
+	return 0
+}

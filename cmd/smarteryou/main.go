@@ -1,0 +1,177 @@
+// Command smarteryou runs an interactive-style demo of the full
+// continuous-authentication pipeline: it enrolls a synthetic owner, trains
+// the per-context models, then replays a usage timeline — owner sitting,
+// owner walking, a mimicry attacker — printing each window's decision and
+// the response module's escalation.
+//
+// Usage:
+//
+//	smarteryou [-users 10] [-seed 42] [-fidelity 0.9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smarteryou"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		users    = flag.Int("users", 10, "population size (owner + impostors)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		fidelity = flag.Float64("fidelity", 0.9, "attacker mimicry fidelity in [0,1]")
+	)
+	flag.Parse()
+	if *users < 3 {
+		fmt.Fprintln(os.Stderr, "smarteryou: need at least 3 users")
+		return 2
+	}
+
+	pop, err := smarteryou.NewPopulation(*users, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	owner := pop.Users[0]
+	attacker := pop.Users[1]
+
+	fmt.Printf("population: %d users; owner=%s (%v, %v)\n",
+		*users, owner.ID, owner.Gender, owner.Age)
+
+	// Enrollment + training.
+	ownerData, err := smarteryou.Collect(owner, smarteryou.CollectOptions{
+		WindowSeconds: 6, SessionSeconds: 150, Sessions: 3, Days: 13, Seed: *seed + 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var impostorData []smarteryou.WindowSample
+	for i, u := range pop.Users[1:] {
+		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+			WindowSeconds: 6, SessionSeconds: 150, Sessions: 2, Seed: *seed + 100 + int64(i),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		impostorData = append(impostorData, samples...)
+	}
+	det, err := smarteryou.TrainContextDetector(
+		smarteryou.ContextTrainingData(impostorData), smarteryou.DetectorConfig{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	bundle, err := smarteryou.Train(ownerData, impostorData, smarteryou.TrainConfig{
+		Mode: smarteryou.Mode{Combined: true, UseContext: true},
+		Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	auth, err := smarteryou.NewAuthenticator(det, bundle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	response := smarteryou.NewResponseModule(smarteryou.ResponsePolicy{DenyAfter: 1, LockAfter: 3})
+	audit := smarteryou.NewAuditLog()
+	fmt.Printf("trained on %d owner + %d impostor windows\n\n", len(ownerData), len(impostorData))
+
+	type phase struct {
+		label   string
+		user    *smarteryou.User
+		context smarteryou.Context
+		mimic   bool
+	}
+	timeline := []phase{
+		{"owner, sitting", owner, smarteryou.ContextStationaryUse, false},
+		{"owner, walking", owner, smarteryou.ContextMovingUse, false},
+		{"ATTACKER, mimicking the owner while walking", attacker, smarteryou.ContextMovingUse, true},
+	}
+	clock := 0.0
+	for _, p := range timeline {
+		fmt.Printf("--- %s ---\n", p.label)
+		sess := smarteryou.Session{
+			User:    p.user,
+			Context: p.context,
+			Seconds: 48,
+			Seed:    *seed + int64(clock),
+		}
+		if p.mimic {
+			params := owner.Params
+			sess.MimicOf = &params
+			sess.MimicFidelity = *fidelity
+		}
+		phone, err := sess.Generate(smarteryou.DevicePhone)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		watch, err := sess.Generate(smarteryou.DeviceWatch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		phoneWins, err := smarteryou.ExtractWindows(phone, 6)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		watchWins, err := smarteryou.ExtractWindows(watch, 6)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for k := range phoneWins {
+			d, err := auth.Authenticate(smarteryou.WindowSample{
+				UserID:  p.user.ID,
+				Context: p.context,
+				Phone:   phoneWins[k],
+				Watch:   watchWins[k],
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			action := response.Observe(d)
+			clock += 6
+			audit.Append(clock, d, action)
+			fmt.Printf("t=%4.0fs  ctx=%-10v  score=%+6.2f  %-8v -> %v\n",
+				clock, d.Context, d.Score, verdict(d.Accepted), action)
+			if action == smarteryou.ActionLock {
+				fmt.Println("DEVICE LOCKED — explicit re-authentication required")
+				break
+			}
+		}
+		fmt.Println()
+		if response.Locked() {
+			break
+		}
+	}
+	if !response.Locked() {
+		fmt.Println("warning: the attacker was not locked out within the timeline")
+		return 1
+	}
+	if bad := smarteryou.VerifyAuditChain(audit.Entries()); bad >= 0 {
+		fmt.Printf("audit chain broken at entry %d\n", bad)
+		return 1
+	}
+	fmt.Printf("audit log: %d entries, hash chain verified\n", audit.Len())
+	return 0
+}
+
+func verdict(accepted bool) string {
+	if accepted {
+		return "accept"
+	}
+	return "REJECT"
+}

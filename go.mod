@@ -1,0 +1,3 @@
+module smarteryou
+
+go 1.22

@@ -1,0 +1,179 @@
+package attack
+
+import (
+	"testing"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+)
+
+// buildVictimAuthenticator trains a full SmarterYou stack for user 0 of a
+// small population and returns it with the population.
+func buildVictimAuthenticator(t *testing.T) (*core.Authenticator, *sensing.Population) {
+	t.Helper()
+	pop, err := sensing.NewPopulation(6, 321)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	perUser := make([][]features.WindowSample, len(pop.Users))
+	for i, u := range pop.Users {
+		perUser[i], err = features.Collect(u, features.CollectOptions{
+			WindowSeconds:  6,
+			SessionSeconds: 120,
+			Sessions:       2,
+			Seed:           int64(100 + i*11),
+		})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+	}
+	var ctxTrain, impostor []features.WindowSample
+	for i := 1; i < len(perUser); i++ {
+		ctxTrain = append(ctxTrain, perUser[i]...)
+		impostor = append(impostor, perUser[i]...)
+	}
+	det, err := ctxdetect.Train(ctxdetect.FromSamples(ctxTrain), ctxdetect.Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("ctxdetect.Train: %v", err)
+	}
+	bundle, err := core.Train(perUser[0], impostor, core.TrainConfig{
+		Mode: core.Mode{Combined: true, UseContext: true},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("core.Train: %v", err)
+	}
+	auth, err := core.NewAuthenticator(det, bundle)
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	return auth, pop
+}
+
+func TestRunDetectsMasqueraders(t *testing.T) {
+	auth, pop := buildVictimAuthenticator(t)
+	res, err := Run(auth, Scenario{
+		Victim:         pop.Users[0],
+		Attackers:      pop.Users[1:4],
+		Fidelity:       0.9,
+		HorizonSeconds: 60,
+		Trials:         5,
+		Seed:           17,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.SurvivalTimes) != 15 {
+		t.Fatalf("got %d trials, want 15", len(res.SurvivalTimes))
+	}
+	// The paper finds ~90% of masqueraders de-authenticated within one 6 s
+	// window and all within 18 s; allow slack but require the bulk caught
+	// fast and everyone eventually.
+	if frac := res.FractionDetectedBy(6); frac < 0.5 {
+		t.Errorf("only %v of attackers caught within 6 s, want >= 0.5", frac)
+	}
+	if frac := res.FractionDetectedBy(30); frac < 0.95 {
+		t.Errorf("only %v of attackers caught within 30 s, want >= 0.95", frac)
+	}
+	if mean := res.MeanDetectionSeconds(); mean > 20 {
+		t.Errorf("mean detection time %v s, want <= 20 s", mean)
+	}
+}
+
+func TestVictimSurvivesOwnDevice(t *testing.T) {
+	// Sanity check of the attack harness itself: the victim "attacking"
+	// her own device at fidelity 0 of someone (i.e. behaving as herself)
+	// should mostly keep access.
+	auth, pop := buildVictimAuthenticator(t)
+	res, err := Run(auth, Scenario{
+		Victim:         pop.Users[0],
+		Attackers:      []*sensing.User{pop.Users[0]},
+		Fidelity:       1, // mimicking yourself is a no-op
+		HorizonSeconds: 60,
+		Trials:         5,
+		Seed:           23,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if frac := res.FractionDetectedBy(12); frac > 0.4 {
+		t.Errorf("victim rejected within 12 s in %v of trials", frac)
+	}
+}
+
+func TestSurvivalCurveMonotone(t *testing.T) {
+	auth, pop := buildVictimAuthenticator(t)
+	res, err := Run(auth, Scenario{
+		Victim:         pop.Users[0],
+		Attackers:      pop.Users[1:3],
+		HorizonSeconds: 36,
+		Trials:         4,
+		Seed:           29,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	times, fractions := res.SurvivalCurve()
+	if len(times) != 6 { // 36 s / 6 s windows
+		t.Fatalf("curve has %d points, want 6", len(times))
+	}
+	for i := 1; i < len(fractions); i++ {
+		if fractions[i] > fractions[i-1]+1e-12 {
+			t.Errorf("survival curve increased at %v s: %v -> %v", times[i], fractions[i-1], fractions[i])
+		}
+	}
+	for _, f := range fractions {
+		if f < 0 || f > 1 {
+			t.Errorf("fraction %v outside [0,1]", f)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	auth, pop := buildVictimAuthenticator(t)
+	if _, err := Run(auth, Scenario{Attackers: pop.Users[1:2]}); err == nil {
+		t.Errorf("missing victim should error")
+	}
+	if _, err := Run(auth, Scenario{Victim: pop.Users[0]}); err == nil {
+		t.Errorf("missing attackers should error")
+	}
+	if _, err := Run(nil, Scenario{Victim: pop.Users[0], Attackers: pop.Users[1:2]}); err == nil {
+		t.Errorf("nil authenticator should error")
+	}
+}
+
+func TestResultEmpty(t *testing.T) {
+	var r Result
+	if r.MeanDetectionSeconds() != 0 || r.FractionDetectedBy(10) != 0 {
+		t.Errorf("empty result should report zeros")
+	}
+	times, fractions := r.SurvivalCurve()
+	if times != nil || fractions != nil {
+		t.Errorf("empty result curve should be nil")
+	}
+}
+
+func TestHigherFidelityHelpsAttacker(t *testing.T) {
+	auth, pop := buildVictimAuthenticator(t)
+	run := func(fidelity float64) float64 {
+		res, err := Run(auth, Scenario{
+			Victim:         pop.Users[0],
+			Attackers:      pop.Users[1:5],
+			Fidelity:       fidelity,
+			HorizonSeconds: 60,
+			Trials:         5,
+			Seed:           31,
+		})
+		if err != nil {
+			t.Fatalf("Run(fidelity=%v): %v", fidelity, err)
+		}
+		return res.MeanDetectionSeconds()
+	}
+	low := run(0.05)
+	high := run(0.95)
+	if high < low-1e-9 {
+		t.Errorf("high-fidelity mimics (%v s) should survive at least as long as low-fidelity (%v s)", high, low)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+)
+
+// Decision is the outcome of authenticating one sensor window.
+type Decision struct {
+	// Context the detector assigned to the window (CoarseStationary when
+	// context dispatch is disabled).
+	Context sensing.CoarseContext
+	// ContextConfidence is the detector's vote fraction (1 when context
+	// dispatch is disabled).
+	ContextConfidence float64
+	// Score is the classifier decision value — the Confidence Score
+	// CS(k) = x_k^T w* of Section V-I.
+	Score float64
+	// Accepted is Score > 0: the window is attributed to the legitimate
+	// user.
+	Accepted bool
+}
+
+// Authenticator is the phone-side testing module of Section IV-A2: feature
+// vectors come in, the context detector picks the authentication model,
+// the model classifies, and the decision goes to the response module.
+//
+// Authenticator is safe for concurrent use: the background authentication
+// service and the on-demand checks of the cloud apps may overlap.
+type Authenticator struct {
+	mu       sync.RWMutex
+	detector *ctxdetect.Detector
+	bundle   *ModelBundle
+}
+
+// NewAuthenticator assembles the testing module from the downloaded
+// context-detection model and authentication model bundle. The detector
+// may be nil only when the bundle does not use context dispatch.
+func NewAuthenticator(detector *ctxdetect.Detector, bundle *ModelBundle) (*Authenticator, error) {
+	if bundle == nil || len(bundle.Models) == 0 {
+		return nil, fmt.Errorf("core: authenticator needs a model bundle")
+	}
+	if bundle.Mode.UseContext && detector == nil {
+		return nil, fmt.Errorf("core: context-dispatched bundle needs a context detector")
+	}
+	return &Authenticator{detector: detector, bundle: bundle}, nil
+}
+
+// SwapBundle atomically installs a retrained model bundle (the retraining
+// flow of Section V-I) without interrupting in-flight authentications.
+func (a *Authenticator) SwapBundle(bundle *ModelBundle) error {
+	if bundle == nil || len(bundle.Models) == 0 {
+		return fmt.Errorf("core: refusing to install empty model bundle")
+	}
+	if bundle.Mode.UseContext && a.detector == nil {
+		return fmt.Errorf("core: context-dispatched bundle needs a context detector")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.bundle = bundle
+	return nil
+}
+
+// Mode returns the installed bundle's mode.
+func (a *Authenticator) Mode() Mode {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.bundle.Mode
+}
+
+// Authenticate classifies one feature window end to end: context
+// detection (always on phone-only features, Section V-E), model dispatch,
+// then classification of the mode's feature vector.
+func (a *Authenticator) Authenticate(sample features.WindowSample) (Decision, error) {
+	a.mu.RLock()
+	detector, bundle := a.detector, a.bundle
+	a.mu.RUnlock()
+
+	d := Decision{Context: sensing.CoarseStationary, ContextConfidence: 1}
+	if bundle.Mode.UseContext {
+		det, err := detector.Detect(sample.Phone)
+		if err != nil {
+			return Decision{}, fmt.Errorf("core: context detection: %w", err)
+		}
+		d.Context = det.Context
+		d.ContextConfidence = det.Confidence
+	}
+	model, err := bundle.ModelFor(d.Context)
+	if err != nil {
+		return Decision{}, err
+	}
+	score, err := model.Score(sample.Vector(bundle.Mode.Combined))
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: classify: %w", err)
+	}
+	d.Score = score
+	d.Accepted = score > 0
+	return d, nil
+}

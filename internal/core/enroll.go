@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"smarteryou/internal/features"
+)
+
+// Enrollment tracks the enrollment phase of Section IV-B: the phone
+// accumulates feature windows in a protected buffer until the feature
+// distribution converges to an equilibrium — i.e. until the running
+// estimate of the user's behavioural profile stops moving — at which point
+// the buffer is large enough to train the authentication models (about 800
+// measurements in the paper).
+type Enrollment struct {
+	// MinSamples is a floor below which convergence is never declared
+	// (default 100).
+	MinSamples int
+	// MaxSamples force-completes enrollment (default 800, the paper's
+	// converged data size).
+	MaxSamples int
+	// Tolerance is the maximum relative movement of the running feature
+	// mean, per added batch of CheckEvery samples, that counts as
+	// converged (default 0.01).
+	Tolerance float64
+	// CheckEvery controls how often convergence is evaluated (default 50).
+	CheckEvery int
+
+	samples  []features.WindowSample
+	lastMean []float64
+	done     bool
+}
+
+// NewEnrollment returns an enrollment tracker with the paper's defaults.
+func NewEnrollment() *Enrollment {
+	return &Enrollment{MinSamples: 100, MaxSamples: 800, Tolerance: 0.01, CheckEvery: 50}
+}
+
+// Add appends one collected window and returns true once enrollment has
+// converged (it stays true afterwards).
+func (e *Enrollment) Add(sample features.WindowSample) bool {
+	if e.done {
+		return true
+	}
+	e.samples = append(e.samples, sample)
+	if e.MaxSamples > 0 && len(e.samples) >= e.MaxSamples {
+		e.done = true
+		return true
+	}
+	checkEvery := e.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = 50
+	}
+	if len(e.samples)%checkEvery != 0 {
+		return false
+	}
+	mean := e.runningMean()
+	defer func() { e.lastMean = mean }()
+	if e.lastMean == nil || len(e.samples) < e.MinSamples {
+		return false
+	}
+	// Relative movement of the running mean since the last checkpoint.
+	var move, scale float64
+	for j := range mean {
+		d := mean[j] - e.lastMean[j]
+		move += d * d
+		scale += mean[j] * mean[j]
+	}
+	if scale == 0 {
+		return false
+	}
+	if math.Sqrt(move/scale) < e.Tolerance {
+		e.done = true
+	}
+	return e.done
+}
+
+// runningMean computes the mean combined feature vector over the buffer.
+func (e *Enrollment) runningMean() []float64 {
+	if len(e.samples) == 0 {
+		return nil
+	}
+	dim := len(e.samples[0].Vector(true))
+	mean := make([]float64, dim)
+	for _, s := range e.samples {
+		for j, v := range s.Vector(true) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(e.samples))
+	}
+	return mean
+}
+
+// Done reports whether enrollment has converged.
+func (e *Enrollment) Done() bool { return e.done }
+
+// Count returns the number of buffered windows.
+func (e *Enrollment) Count() int { return len(e.samples) }
+
+// Samples returns the buffered windows for upload to the training module.
+// The returned slice is a copy; the protected buffer stays private.
+func (e *Enrollment) Samples() []features.WindowSample {
+	out := make([]features.WindowSample, len(e.samples))
+	copy(out, e.samples)
+	return out
+}

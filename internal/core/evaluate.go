@@ -1,0 +1,28 @@
+package core
+
+import (
+	"smarteryou/internal/features"
+	"smarteryou/internal/stats"
+)
+
+// Evaluate runs the authenticator over labelled test windows and
+// aggregates FRR/FAR/accuracy — the measurement loop behind Tables VI and
+// VII and Figs. 4 and 5.
+func Evaluate(a *Authenticator, legit, impostor []features.WindowSample) (stats.AuthMetrics, error) {
+	var m stats.AuthMetrics
+	for _, s := range legit {
+		d, err := a.Authenticate(s)
+		if err != nil {
+			return stats.AuthMetrics{}, err
+		}
+		m.Observe(true, d.Accepted)
+	}
+	for _, s := range impostor {
+		d, err := a.Authenticate(s)
+		if err != nil {
+			return stats.AuthMetrics{}, err
+		}
+		m.Observe(false, d.Accepted)
+	}
+	return m, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import "sync"
+
+// RetrainMonitor implements the behavioural-drift detector of Section V-I:
+// when the confidence score CS(k) = x_k^T w* of an *authenticated* user
+// stays below a threshold epsilon_CS for a sustained period, the user's
+// behaviour has drifted from the trained model and retraining should run.
+//
+// Individual windows are noisy, so the monitor tracks an exponentially
+// weighted moving average of the confidence score and requires the
+// *smoothed* score to sit below the threshold for SustainWindows
+// consecutive authenticated windows. Two properties from the paper are
+// preserved:
+//
+//   - Brief dips below the threshold do not trigger retraining (Fig. 7
+//     shows early sub-threshold points that are too short-lived) — a dip
+//     neither moves the average much nor sustains.
+//   - An attacker cannot trigger retraining: his windows are rejected
+//     (negative scores), and rejected windows never update the monitor —
+//     they escalate through the response module instead (lockout within
+//     ~3 windows, Fig. 6).
+type RetrainMonitor struct {
+	// Threshold is epsilon_CS (the paper uses 0.2).
+	Threshold float64
+	// SustainWindows is how many consecutive authenticated windows the
+	// smoothed score must stay below the threshold — "a period of time T"
+	// (default 20).
+	SustainWindows int
+	// Smoothing is the EWMA weight of each new observation (default 0.1).
+	Smoothing float64
+
+	mu     sync.Mutex
+	ewma   float64
+	primed bool
+	run    int
+}
+
+// NewRetrainMonitor returns a monitor with the paper's threshold.
+func NewRetrainMonitor() *RetrainMonitor {
+	return &RetrainMonitor{Threshold: 0.2, SustainWindows: 20, Smoothing: 0.1}
+}
+
+// Observe folds one decision into the monitor and reports whether
+// retraining should be triggered now.
+func (m *RetrainMonitor) Observe(d Decision) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sustain := m.SustainWindows
+	if sustain <= 0 {
+		sustain = 20
+	}
+	alpha := m.Smoothing
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	// Only authenticated windows speak for the legitimate user; rejected
+	// windows belong to the response module and reset the run.
+	if !d.Accepted {
+		m.run = 0
+		return false
+	}
+	if !m.primed {
+		m.ewma = d.Score
+		m.primed = true
+	} else {
+		m.ewma = (1-alpha)*m.ewma + alpha*d.Score
+	}
+	if m.ewma < m.Threshold {
+		m.run++
+	} else {
+		m.run = 0
+	}
+	if m.run >= sustain {
+		m.run = 0
+		m.primed = false
+		return true
+	}
+	return false
+}
+
+// Smoothed returns the current smoothed confidence score (0 before any
+// authenticated window has been observed).
+func (m *RetrainMonitor) Smoothed() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewma
+}
+
+// Reset clears the monitor state (called after a retrain completes).
+func (m *RetrainMonitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.run = 0
+	m.ewma = 0
+	m.primed = false
+}

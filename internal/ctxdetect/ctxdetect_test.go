@@ -1,0 +1,139 @@
+package ctxdetect
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+)
+
+// labData collects lab-style context training data from a few users.
+func labData(t *testing.T, userIdx []int, seconds float64) []LabeledVector {
+	t.Helper()
+	pop, err := sensing.NewPopulation(8, 4242)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	var all []features.WindowSample
+	for _, i := range userIdx {
+		samples, err := features.Collect(pop.Users[i], features.CollectOptions{
+			WindowSeconds:  6,
+			SessionSeconds: seconds,
+			Sessions:       1,
+			Contexts:       sensing.AllContexts(),
+			Seed:           int64(1000 + i),
+		})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		all = append(all, samples...)
+	}
+	return FromSamples(all)
+}
+
+func TestTrainAndDetectUserAgnostic(t *testing.T) {
+	// Train on users 0-4, test on users 5-7 the detector never saw.
+	train := labData(t, []int{0, 1, 2, 3, 4}, 60)
+	test := labData(t, []int{5, 6, 7}, 60)
+
+	det, err := Train(train, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	correct := 0
+	for _, d := range test {
+		got, err := det.DetectVector(d.Vector)
+		if err != nil {
+			t.Fatalf("DetectVector: %v", err)
+		}
+		if got.Context == d.Context {
+			correct++
+		}
+		if got.Confidence < 0.5 || got.Confidence > 1 {
+			t.Errorf("confidence %v outside (0.5, 1]", got.Confidence)
+		}
+	}
+	acc := float64(correct) / float64(len(test))
+	if acc < 0.95 {
+		t.Errorf("user-agnostic context accuracy = %v, want >= 0.95 (paper reports ~0.99)", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, Config{}); err == nil {
+		t.Errorf("empty training data should error")
+	}
+	onlyOne := []LabeledVector{
+		{Vector: []float64{1, 2}, Context: sensing.CoarseMoving},
+		{Vector: []float64{2, 3}, Context: sensing.CoarseMoving},
+	}
+	if _, err := Train(onlyOne, Config{}); err == nil {
+		t.Errorf("single-context training data should error")
+	}
+}
+
+func TestDetectUntrained(t *testing.T) {
+	var d *Detector
+	if _, err := d.DetectVector([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("nil detector err = %v, want ErrNotTrained", err)
+	}
+	d = &Detector{}
+	if _, err := d.DetectVector([]float64{1}); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("empty detector err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestDetectorSerializationRoundTrip(t *testing.T) {
+	train := labData(t, []int{0, 1}, 36)
+	det, err := Train(train, Config{Trees: 10, Seed: 3})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	blob, err := json.Marshal(det)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var restored Detector
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	for _, d := range train[:20] {
+		a, err1 := det.DetectVector(d.Vector)
+		b, err2 := restored.DetectVector(d.Vector)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("DetectVector: %v / %v", err1, err2)
+		}
+		if a.Context != b.Context {
+			t.Fatalf("restored detector disagrees: %v vs %v", a.Context, b.Context)
+		}
+	}
+}
+
+func TestDetectorUnmarshalRejectsEmpty(t *testing.T) {
+	var d Detector
+	if err := json.Unmarshal([]byte(`{}`), &d); err == nil {
+		t.Errorf("missing forest should fail to decode")
+	}
+	if err := json.Unmarshal([]byte(`garbage`), &d); err == nil {
+		t.Errorf("invalid json should fail to decode")
+	}
+}
+
+func TestFromSamplesMapsCoarse(t *testing.T) {
+	samples := []features.WindowSample{
+		{Context: sensing.ContextOnVehicle},
+		{Context: sensing.ContextMovingUse},
+	}
+	labeled := FromSamples(samples)
+	if labeled[0].Context != sensing.CoarseStationary {
+		t.Errorf("vehicle should label as stationary")
+	}
+	if labeled[1].Context != sensing.CoarseMoving {
+		t.Errorf("moving-use should label as moving")
+	}
+	if len(labeled[0].Vector) != 14 {
+		t.Errorf("context vector length = %d, want 14", len(labeled[0].Vector))
+	}
+}

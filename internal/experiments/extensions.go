@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+	"smarteryou/internal/stats"
+)
+
+// ROCResult is the operating-characteristic extension: the full FRR/FAR
+// trade-off curve of the headline configuration and its equal error rate
+// and AUC — the metrics the related work of Table I commonly reports.
+type ROCResult struct {
+	Points []stats.ROCPoint
+	EER    float64
+	AUC    float64
+}
+
+// RunROC collects decision scores of the headline configuration (via the
+// standard cross-validated protocol) and sweeps the threshold.
+func RunROC(d *Data) (*ROCResult, error) {
+	opt := EvalOptions{Devices: DeviceCombination, UseContext: true}.withDefaults()
+	det, err := d.Detector(opt.WindowSeconds)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(d.Cfg.Seed * 77777))
+
+	var legitScores, impostorScores []float64
+	for target := 0; target < d.Cfg.Targets; target++ {
+		legit, err := d.UserWindows(target, opt.WindowSeconds)
+		if err != nil {
+			return nil, err
+		}
+		impostorAll, err := d.ImpostorWindows(target, opt.WindowSeconds)
+		if err != nil {
+			return nil, err
+		}
+		impostor := sampleWindows(impostorAll, len(legit), rng)
+		all := append(append([]features.WindowSample{}, legit...), impostor...)
+		labels := make([]bool, len(all))
+		for i := range legit {
+			labels[i] = true
+		}
+		folds, err := stats.StratifiedKFold(labels, d.Cfg.Folds, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, fold := range folds {
+			var trLegit, trImpostor []features.WindowSample
+			for _, i := range fold.TrainIdx {
+				if labels[i] {
+					trLegit = append(trLegit, all[i])
+				} else {
+					trImpostor = append(trImpostor, all[i])
+				}
+			}
+			bundle, err := trainGenericBundle(det, trLegit, trImpostor, opt, rng)
+			if err != nil {
+				return nil, err
+			}
+			for _, i := range fold.TestIdx {
+				_, score, err := bundle.authenticate(all[i])
+				if err != nil {
+					return nil, err
+				}
+				if labels[i] {
+					legitScores = append(legitScores, score)
+				} else {
+					impostorScores = append(impostorScores, score)
+				}
+			}
+		}
+	}
+
+	points, err := stats.ROC(legitScores, impostorScores)
+	if err != nil {
+		return nil, fmt.Errorf("roc: %w", err)
+	}
+	eer, _, err := stats.EER(legitScores, impostorScores)
+	if err != nil {
+		return nil, fmt.Errorf("roc: %w", err)
+	}
+	auc, err := stats.AUC(legitScores, impostorScores)
+	if err != nil {
+		return nil, fmt.Errorf("roc: %w", err)
+	}
+	return &ROCResult{Points: points, EER: eer, AUC: auc}, nil
+}
+
+// Render prints selected operating points plus EER/AUC.
+func (r *ROCResult) Render() string {
+	var b strings.Builder
+	b.WriteString("EXTENSION: ROC of the headline configuration (combination, w/ context)\n\n")
+	fmt.Fprintf(&b, "%12s %10s %10s\n", "threshold", "FRR", "FAR")
+	// Print ~12 evenly spaced operating points.
+	step := len(r.Points) / 12
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(r.Points); i += step {
+		p := r.Points[i]
+		fmt.Fprintf(&b, "%12.3f %9.1f%% %9.1f%%\n", p.Threshold, p.FRR*100, p.FAR*100)
+	}
+	fmt.Fprintf(&b, "\nEqual error rate: %.1f%%   (Frank et al. report 4%% EER on touch data)\n", r.EER*100)
+	fmt.Fprintf(&b, "AUC:              %.3f\n", r.AUC)
+	return b.String()
+}
+
+// UnlearningResult is the machine-unlearning extension (Section V-I cites
+// Cao & Yang 2015 as the way to update models "asymptotically faster than
+// retraining from scratch"): it compares the frozen day-0 model, periodic
+// full retraining, and the online adapt+unlearn model over two weeks of
+// behavioural drift.
+type UnlearningResult struct {
+	// Mean confidence score on day-13 behaviour under each strategy.
+	FrozenCS   float64
+	RetrainCS  float64
+	AdaptiveCS float64
+	// FRR on day-13 behaviour under each strategy.
+	FrozenFRR   float64
+	RetrainFRR  float64
+	AdaptiveFRR float64
+	// Wall time per model update.
+	FullRetrainMillis float64
+	AdaptMicros       float64
+}
+
+// RunUnlearning runs the three strategies for the first target user.
+func RunUnlearning(d *Data) (*UnlearningResult, error) {
+	const horizon = 13.0
+	target := 0
+	user := d.Pop.Users[target]
+	det, err := d.Detector(6)
+	if err != nil {
+		return nil, err
+	}
+	impostor, err := d.ImpostorWindows(target, 6)
+	if err != nil {
+		return nil, err
+	}
+	collectAt := func(day float64, salt int64) ([]features.WindowSample, error) {
+		var out []features.WindowSample
+		for ci, ctx := range []sensing.Context{sensing.ContextStationaryUse, sensing.ContextMovingUse} {
+			sess := sensing.Session{
+				User:    user,
+				Context: ctx,
+				Day:     day,
+				Seconds: d.Cfg.SessionSeconds,
+				Seed:    d.Cfg.Seed*9_000_011 + salt*131 + int64(ci),
+			}
+			got, err := collectSession(user, sess, 6)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, got...)
+		}
+		return out, nil
+	}
+
+	enroll, err := collectAt(0, 1)
+	if err != nil {
+		return nil, err
+	}
+	mode := core.Mode{Combined: true, UseContext: true}
+	trainCfg := core.TrainConfig{Mode: mode, MaxPerClass: 400, Seed: d.Cfg.Seed}
+
+	frozenBundle, err := core.Train(enroll, impostor, trainCfg)
+	if err != nil {
+		return nil, err
+	}
+	frozen, err := core.NewAuthenticator(det, frozenBundle)
+	if err != nil {
+		return nil, err
+	}
+	retrainAuth, err := core.NewAuthenticator(det, frozenBundle)
+	if err != nil {
+		return nil, err
+	}
+	// A tight retention window (~3 days of accepted usage) is what makes
+	// the slide matter: old behaviour is actually unlearned rather than
+	// diluted.
+	adaptive, err := core.TrainOnline(det, enroll, impostor, core.OnlineConfig{
+		Mode: mode, Window: 120, Seed: d.Cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &UnlearningResult{}
+	var adaptTotal time.Duration
+	var adaptCount int
+	for day := 1.0; day < horizon; day++ {
+		windows, err := collectAt(day, int64(day)*7)
+		if err != nil {
+			return nil, err
+		}
+		// Adaptive: the device stays unlocked (the owner is using it), so
+		// every window adapts the model — session-level gating, per the
+		// OnlineAuthenticator.Adapt contract.
+		for _, w := range windows {
+			start := time.Now()
+			if err := adaptive.Adapt(w); err != nil {
+				return nil, err
+			}
+			adaptTotal += time.Since(start)
+			adaptCount++
+		}
+		// Periodic full retrain every 4 days with the latest behaviour.
+		if int(day)%4 == 0 {
+			start := time.Now()
+			bundle, err := core.Train(windows, impostor, trainCfg)
+			if err != nil {
+				return nil, err
+			}
+			res.FullRetrainMillis = float64(time.Since(start)) / float64(time.Millisecond)
+			if err := retrainAuth.SwapBundle(bundle); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if adaptCount > 0 {
+		res.AdaptMicros = float64(adaptTotal) / float64(time.Microsecond) / float64(adaptCount)
+	}
+
+	var test []features.WindowSample
+	for _, salt := range []int64{997, 1009, 1013} {
+		got, err := collectAt(horizon, salt)
+		if err != nil {
+			return nil, err
+		}
+		test = append(test, got...)
+	}
+	evalCS := func(authFn func(features.WindowSample) (core.Decision, error)) (meanCS, frr float64, err error) {
+		var sum float64
+		rejected := 0
+		for _, w := range test {
+			d, err := authFn(w)
+			if err != nil {
+				return 0, 0, err
+			}
+			sum += d.Score
+			if !d.Accepted {
+				rejected++
+			}
+		}
+		return sum / float64(len(test)), float64(rejected) / float64(len(test)), nil
+	}
+	if res.FrozenCS, res.FrozenFRR, err = evalCS(frozen.Authenticate); err != nil {
+		return nil, err
+	}
+	if res.RetrainCS, res.RetrainFRR, err = evalCS(retrainAuth.Authenticate); err != nil {
+		return nil, err
+	}
+	if res.AdaptiveCS, res.AdaptiveFRR, err = evalCS(adaptive.Authenticate); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the strategy comparison.
+func (r *UnlearningResult) Render() string {
+	var b strings.Builder
+	b.WriteString("EXTENSION: machine unlearning (Section V-I, via Cao & Yang 2015)\n")
+	b.WriteString("Model maintenance strategies over 13 days of behavioural drift,\n")
+	b.WriteString("evaluated on day-13 behaviour of the owner:\n\n")
+	fmt.Fprintf(&b, "%-34s %10s %8s\n", "strategy", "mean CS", "FRR")
+	fmt.Fprintf(&b, "%-34s %10.3f %7.1f%%\n", "frozen day-0 model", r.FrozenCS, r.FrozenFRR*100)
+	fmt.Fprintf(&b, "%-34s %10.3f %7.1f%%\n", "full retrain every 4 days", r.RetrainCS, r.RetrainFRR*100)
+	fmt.Fprintf(&b, "%-34s %10.3f %7.1f%%\n", "online adapt + unlearn (sliding)", r.AdaptiveCS, r.AdaptiveFRR*100)
+	fmt.Fprintf(&b, "\nUpdate cost: full retrain %.1f ms vs online adapt %.0f us per window\n",
+		r.FullRetrainMillis, r.AdaptMicros)
+	b.WriteString("Adaptation is gated at session level: an attacker is locked out within\n")
+	b.WriteString("~3 windows (Fig. 6), so at most a couple of his windows ever enter the\n")
+	b.WriteString("model, and the sliding window ages them out.\n")
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smarteryou/internal/sensing"
+)
+
+// Figure2Result reproduces Fig. 2: the demographics of the (synthetic)
+// participant cohort.
+type Figure2Result struct {
+	Demographics sensing.Demographics
+	Total        int
+}
+
+// RunFigure2 tallies the population's gender and age distribution.
+func RunFigure2(d *Data) (*Figure2Result, error) {
+	return &Figure2Result{
+		Demographics: d.Pop.Demographics(),
+		Total:        len(d.Pop.Users),
+	}, nil
+}
+
+// Render formats the cohort summary with text histograms.
+func (r *Figure2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("FIGURE 2: demographics of the participants\n\n")
+	fmt.Fprintf(&b, "Gender (paper: 16 female / 19 male of 35):\n")
+	fmt.Fprintf(&b, "  %-8s %3d %s\n", "female", r.Demographics.Female, bar(r.Demographics.Female))
+	fmt.Fprintf(&b, "  %-8s %3d %s\n", "male", r.Demographics.Male, bar(r.Demographics.Male))
+	fmt.Fprintf(&b, "\nAge (paper: 12 / 9 / 5 / 5 / 4 of 35):\n")
+	for _, age := range []sensing.AgeRange{
+		sensing.Age20to25, sensing.Age25to30, sensing.Age30to35, sensing.Age35to40, sensing.Age40plus,
+	} {
+		n := r.Demographics.ByAge[age]
+		fmt.Fprintf(&b, "  %-8s %3d %s\n", age, n, bar(n))
+	}
+	return b.String()
+}
+
+func bar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n)
+}

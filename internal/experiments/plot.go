@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// plotSeries is one named line of an ASCII chart.
+type plotSeries struct {
+	Name   string
+	Marker byte
+	Y      []float64
+}
+
+// asciiPlot renders series against shared x values as a fixed-size text
+// chart — the closest a terminal gets to the paper's figures. Series may
+// have differing lengths; points beyond a series' length are skipped.
+func asciiPlot(xs []float64, series []plotSeries, width, height int, yFmt string) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		return "(no data)\n"
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if v < yMin {
+				yMin = v
+			}
+			if v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return "(no data)\n"
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	pad := (yMax - yMin) * 0.05
+	yMin -= pad
+	yMax += pad
+
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		if x < xMin {
+			xMin = x
+		}
+		if x > xMax {
+			xMax = x
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		for i, y := range s.Y {
+			if i >= len(xs) {
+				break
+			}
+			grid[row(y)][col(xs[i])] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	for r := 0; r < height; r++ {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, yFmt+" |%s|\n", yVal, string(grid[r]))
+	}
+	// X axis: min, mid, max labels.
+	labelPrefix := strings.Repeat(" ", len(fmt.Sprintf(yFmt, yMax))+2)
+	mid := (xMin + xMax) / 2
+	axis := fmt.Sprintf("%-*g%*s%*g",
+		width/3, xMin, width/3, fmt.Sprintf("%g", mid), width-2*(width/3), xMax)
+	b.WriteString(labelPrefix + axis + "\n")
+	// Legend.
+	names := make([]string, 0, len(series))
+	for _, s := range series {
+		names = append(names, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	sort.Strings(names)
+	b.WriteString(labelPrefix + strings.Join(names, "  ") + "\n")
+	return b.String()
+}
+
+// scale100 returns the series multiplied by 100 (fractions to percent).
+func scale100(in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = v * 100
+	}
+	return out
+}
+
+// repeatVal returns a constant series, used to draw threshold lines.
+func repeatVal(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Report is the rendered outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// runner regenerates one paper artifact.
+type runner struct {
+	title string
+	run   func(*Data) (string, error)
+}
+
+// registry maps artifact ids to their runners.
+var registry = map[string]runner{
+	"table1": {"Table I — related-work comparison", func(d *Data) (string, error) {
+		r, err := RunTable1(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"figure2": {"Fig. 2 — participant demographics", func(d *Data) (string, error) {
+		r, err := RunFigure2(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table2": {"Table II — Fisher scores of sensors", func(d *Data) (string, error) {
+		r, err := RunTable2(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"figure3": {"Fig. 3 — KS tests on sensor features", func(d *Data) (string, error) {
+		r, err := RunFigure3(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table3": {"Table III — feature-pair correlations", func(d *Data) (string, error) {
+		r, err := RunTable3(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table4": {"Table IV — phone-watch correlations", func(d *Data) (string, error) {
+		r, err := RunTable4(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table5": {"Table V — context-detection confusion matrix", func(d *Data) (string, error) {
+		r, err := RunTable5(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table6": {"Table VI — ML algorithm comparison", func(d *Data) (string, error) {
+		r, err := RunTable6(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"figure4": {"Fig. 4 — FRR/FAR vs window size", func(d *Data) (string, error) {
+		r, err := RunFigure4(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"figure5": {"Fig. 5 — accuracy vs data size", func(d *Data) (string, error) {
+		r, err := RunFigure5(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table7": {"Table VII — context/device configurations", func(d *Data) (string, error) {
+		r, err := RunTable7(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"figure6": {"Fig. 6 — masquerading-attack survival", func(d *Data) (string, error) {
+		r, err := RunFigure6(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"figure7": {"Fig. 7 — confidence score and retraining", func(d *Data) (string, error) {
+		r, err := RunFigure7(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table8": {"Table VIII — battery consumption", func(d *Data) (string, error) {
+		r, err := RunTable8(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"overhead": {"Section V-H — system overhead", func(d *Data) (string, error) {
+		r, err := RunOverhead(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"ablations": {"Extra — design-choice ablations", func(d *Data) (string, error) {
+		r, err := RunAblations(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"roc": {"Extension — ROC / EER of the headline configuration", func(d *Data) (string, error) {
+		r, err := RunROC(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"unlearning": {"Extension — machine-unlearning model maintenance", func(d *Data) (string, error) {
+		r, err := RunUnlearning(d)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+}
+
+// IDs lists the registered experiment ids in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the human title of one experiment id.
+func Title(id string) (string, error) {
+	r, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return r.title, nil
+}
+
+// Run executes one experiment by id against the shared data substrate.
+func Run(id string, d *Data) (Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	text, err := r.run(d)
+	if err != nil {
+		return Report{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	return Report{ID: id, Title: r.title, Text: text}, nil
+}

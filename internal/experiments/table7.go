@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smarteryou/internal/stats"
+)
+
+// Table7Row is one device/context configuration's result.
+type Table7Row struct {
+	Label   string
+	Metrics stats.AuthMetrics
+}
+
+// Table7Result reproduces Table VII: FRR, FAR and accuracy under two
+// contexts with different devices — the paper's headline comparison.
+type Table7Result struct {
+	Rows []Table7Row
+}
+
+// RunTable7 evaluates the four configurations of Table VII with the
+// paper's settings (6 s windows, N = 800 training windows).
+func RunTable7(d *Data) (*Table7Result, error) {
+	d.mu.Lock()
+	memo := d.table7Memo
+	d.mu.Unlock()
+	if memo != nil {
+		return memo, nil
+	}
+
+	type config struct {
+		label      string
+		devices    DeviceSet
+		useContext bool
+	}
+	configs := []config{
+		{"w/o context, smartphone", DevicePhoneOnly, false},
+		{"w/o context, combination", DeviceCombination, false},
+		{"w/ context, smartphone", DevicePhoneOnly, true},
+		{"w/ context, combination", DeviceCombination, true},
+	}
+	res := &Table7Result{}
+	for _, c := range configs {
+		m, err := d.EvaluateAuth(EvalOptions{
+			Devices:    c.devices,
+			UseContext: c.useContext,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table7 %s: %w", c.label, err)
+		}
+		res.Rows = append(res.Rows, Table7Row{Label: c.label, Metrics: m})
+	}
+	d.mu.Lock()
+	d.table7Memo = res
+	d.mu.Unlock()
+	return res, nil
+}
+
+// Headline returns the best configuration's metrics (context +
+// combination), the numbers quoted throughout the paper.
+func (r *Table7Result) Headline() stats.AuthMetrics {
+	if len(r.Rows) == 0 {
+		return stats.AuthMetrics{}
+	}
+	return r.Rows[len(r.Rows)-1].Metrics
+}
+
+// Render formats the result in the paper's Table VII layout.
+func (r *Table7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("TABLE VII: FRR, FAR and accuracy under two contexts with different devices\n")
+	fmt.Fprintf(&b, "%-28s %8s %8s %10s\n", "Context / Device", "FRR", "FAR", "Accuracy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %7.1f%% %7.1f%% %9.1f%%\n",
+			row.Label, row.Metrics.FRR()*100, row.Metrics.FAR()*100, row.Metrics.Accuracy()*100)
+	}
+	b.WriteString("\nPaper reference: 15.4/17.4/83.6, 7.3/9.3/91.7, 5.1/8.3/93.3, 0.9/2.8/98.1\n")
+	return b.String()
+}

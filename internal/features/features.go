@@ -1,0 +1,195 @@
+// Package features implements the feature pipeline of Sections V-C and
+// V-D: sensor streams are windowed, each window's magnitude series is
+// summarized by time-domain statistics (mean, variance, max, min, range)
+// and frequency-domain statistics (amplitude and frequency of the two
+// dominant spectral peaks), and the per-device summaries are assembled
+// into the paper's feature vectors:
+//
+//   - the 9-feature-per-sensor candidate set the selection study starts
+//     from,
+//   - the pruned 7-feature set (Peak2_f dropped by the KS test of Fig. 3,
+//     Ran dropped by the correlation analysis of Table III),
+//   - the 14-dimensional single-device authentication/context vector
+//     (Eq. 3) and the 28-dimensional two-device vector (Eq. 4).
+package features
+
+import (
+	"fmt"
+
+	"smarteryou/internal/dsp"
+	"smarteryou/internal/sensing"
+)
+
+// SensorFeatures holds all nine candidate statistics of one sensor's
+// magnitude stream in one window (Section V-C).
+type SensorFeatures struct {
+	Mean   float64
+	Var    float64
+	Max    float64
+	Min    float64
+	Ran    float64
+	Peak   float64
+	PeakF  float64
+	Peak2  float64
+	Peak2F float64
+}
+
+// CandidateNames lists the nine candidate features in the paper's order.
+func CandidateNames() []string {
+	return []string{"Mean", "Var", "Max", "Min", "Ran", "Peak", "Peak f", "Peak2", "Peak2 f"}
+}
+
+// PrunedNames lists the seven features that survive the selection study:
+// Peak2_f fails the KS test (Fig. 3) and Ran is redundant with Var
+// (Table III).
+func PrunedNames() []string {
+	return []string{"Mean", "Var", "Max", "Min", "Peak", "Peak f", "Peak2"}
+}
+
+// ByName returns the named candidate feature value.
+func (s SensorFeatures) ByName(name string) (float64, error) {
+	switch name {
+	case "Mean":
+		return s.Mean, nil
+	case "Var":
+		return s.Var, nil
+	case "Max":
+		return s.Max, nil
+	case "Min":
+		return s.Min, nil
+	case "Ran":
+		return s.Ran, nil
+	case "Peak":
+		return s.Peak, nil
+	case "Peak f":
+		return s.PeakF, nil
+	case "Peak2":
+		return s.Peak2, nil
+	case "Peak2 f":
+		return s.Peak2F, nil
+	default:
+		return 0, fmt.Errorf("features: unknown feature %q", name)
+	}
+}
+
+// Pruned returns the 7-element pruned feature slice in PrunedNames order —
+// the SP_i(k) = [SP_i^t(k), SP_i^f(k)] vector of Eq. 1 and Eq. 2.
+func (s SensorFeatures) Pruned() []float64 {
+	return []float64{s.Mean, s.Var, s.Max, s.Min, s.Peak, s.PeakF, s.Peak2}
+}
+
+// All returns all nine candidate features in CandidateNames order.
+func (s SensorFeatures) All() []float64 {
+	return []float64{s.Mean, s.Var, s.Max, s.Min, s.Ran, s.Peak, s.PeakF, s.Peak2, s.Peak2F}
+}
+
+// ExtractSensor computes the nine candidate statistics of one magnitude
+// window sampled at rate Hz. The spectral statistics are computed on the
+// detrended window so the DC component (gravity, for the accelerometer)
+// does not mask the motion spectrum.
+func ExtractSensor(window []float64, rate float64) (SensorFeatures, error) {
+	ts, err := dsp.Stats(window)
+	if err != nil {
+		return SensorFeatures{}, fmt.Errorf("features: time-domain stats: %w", err)
+	}
+	spec, err := dsp.AmplitudeSpectrum(dsp.Detrend(window), rate)
+	if err != nil {
+		return SensorFeatures{}, fmt.Errorf("features: spectrum: %w", err)
+	}
+	peaks := spec.Peaks()
+	return SensorFeatures{
+		Mean:   ts.Mean,
+		Var:    ts.Var,
+		Max:    ts.Max,
+		Min:    ts.Min,
+		Ran:    ts.Ran,
+		Peak:   peaks.Peak,
+		PeakF:  peaks.PeakF,
+		Peak2:  peaks.Peak2,
+		Peak2F: peaks.Peak2F,
+	}, nil
+}
+
+// DeviceFeatures summarizes one device's accelerometer and gyroscope in
+// one window.
+type DeviceFeatures struct {
+	Acc SensorFeatures
+	Gyr SensorFeatures
+}
+
+// AuthVector returns the 14-element single-device vector of Eq. 3:
+// pruned accelerometer features followed by pruned gyroscope features.
+func (d DeviceFeatures) AuthVector() []float64 {
+	return append(d.Acc.Pruned(), d.Gyr.Pruned()...)
+}
+
+// FullVector returns the 18-element unpruned vector (both sensors, all
+// nine candidates), used by the feature-pruning ablation.
+func (d DeviceFeatures) FullVector() []float64 {
+	return append(d.Acc.All(), d.Gyr.All()...)
+}
+
+// AccOnlyVector returns just the pruned accelerometer features, used by
+// the sensor ablation (accelerometer-only baselines like Nickel et al.).
+func (d DeviceFeatures) AccOnlyVector() []float64 {
+	return d.Acc.Pruned()
+}
+
+// CombinedAuthVector returns the 28-element two-device vector of Eq. 4:
+// Authenticate(k) = [SP(k), SW(k)].
+func CombinedAuthVector(phone, watch DeviceFeatures) []float64 {
+	return append(phone.AuthVector(), watch.AuthVector()...)
+}
+
+// VectorDim returns the authentication vector dimensionality for a device
+// count (14 for one device, 28 for two) — Section V-F1.
+func VectorDim(devices int) int { return 14 * devices }
+
+// ExtractWindows slices a stream into non-overlapping windows of
+// windowSeconds and computes DeviceFeatures for each. Windows shorter than
+// the full length at the stream tail are dropped, matching dsp.Windows.
+func ExtractWindows(stream *sensing.Stream, windowSeconds float64) ([]DeviceFeatures, error) {
+	if stream == nil || len(stream.Samples) == 0 {
+		return nil, fmt.Errorf("features: empty stream")
+	}
+	if windowSeconds <= 0 {
+		return nil, fmt.Errorf("features: window must be positive, got %g", windowSeconds)
+	}
+	size := int(windowSeconds * stream.Rate)
+	if size <= 0 {
+		return nil, fmt.Errorf("features: window of %g s at %g Hz has no samples", windowSeconds, stream.Rate)
+	}
+
+	ax, ay, az := stream.AccSeries()
+	accMag, err := dsp.MagnitudeSeries(ax, ay, az)
+	if err != nil {
+		return nil, fmt.Errorf("features: acc magnitude: %w", err)
+	}
+	gx, gy, gz := stream.GyrSeries()
+	gyrMag, err := dsp.MagnitudeSeries(gx, gy, gz)
+	if err != nil {
+		return nil, fmt.Errorf("features: gyr magnitude: %w", err)
+	}
+
+	accWins, err := dsp.Windows(accMag, size)
+	if err != nil {
+		return nil, err
+	}
+	gyrWins, err := dsp.Windows(gyrMag, size)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DeviceFeatures, len(accWins))
+	for i := range accWins {
+		acc, err := ExtractSensor(accWins[i], stream.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("features: window %d acc: %w", i, err)
+		}
+		gyr, err := ExtractSensor(gyrWins[i], stream.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("features: window %d gyr: %w", i, err)
+		}
+		out[i] = DeviceFeatures{Acc: acc, Gyr: gyr}
+	}
+	return out, nil
+}

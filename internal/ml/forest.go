@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling — the classifier Section V-E1 selects for user-agnostic
+// context detection.
+type RandomForest struct {
+	// Trees is the ensemble size (default 30).
+	Trees int
+	// MaxDepth bounds each tree (default 12).
+	MaxDepth int
+	// MinLeaf is each tree's minimum leaf size (default 2).
+	MinLeaf int
+	// FeatureSubset is the per-split feature sample size; 0 means
+	// sqrt(nFeatures), the standard forest heuristic.
+	FeatureSubset int
+	// Seed makes bootstrap sampling deterministic.
+	Seed int64
+
+	trees  []*DecisionTree
+	labels []string
+	nDim   int
+}
+
+var _ MultiClassifier = (*RandomForest)(nil)
+
+// NewRandomForest returns a forest configured for the 14-dimensional
+// context feature vectors.
+func NewRandomForest() *RandomForest {
+	return &RandomForest{Trees: 30, MaxDepth: 12, MinLeaf: 2, Seed: 1}
+}
+
+// FitClasses implements MultiClassifier: each tree is trained on a
+// bootstrap resample of the data with feature subsampling at every split.
+func (rf *RandomForest) FitClasses(x [][]float64, labels []string) error {
+	if len(x) == 0 {
+		return fmt.Errorf("%w: no samples", ErrBadTrainingSet)
+	}
+	if len(x) != len(labels) {
+		return fmt.Errorf("%w: %d samples but %d labels", ErrBadTrainingSet, len(x), len(labels))
+	}
+	nTrees := rf.Trees
+	if nTrees <= 0 {
+		nTrees = 30
+	}
+	rf.nDim = len(x[0])
+	subset := rf.FeatureSubset
+	if subset <= 0 {
+		subset = int(math.Sqrt(float64(rf.nDim)))
+		if subset < 1 {
+			subset = 1
+		}
+	}
+	set := map[string]struct{}{}
+	for _, l := range labels {
+		set[l] = struct{}{}
+	}
+	rf.labels = rf.labels[:0]
+	for l := range set {
+		rf.labels = append(rf.labels, l)
+	}
+	sort.Strings(rf.labels)
+
+	rng := rand.New(rand.NewSource(rf.Seed))
+	rf.trees = make([]*DecisionTree, nTrees)
+	n := len(x)
+	bootX := make([][]float64, n)
+	bootY := make([]string, n)
+	for ti := 0; ti < nTrees; ti++ {
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bootX[i] = x[j]
+			bootY[i] = labels[j]
+		}
+		tree := &DecisionTree{
+			MaxDepth:      rf.MaxDepth,
+			MinLeaf:       rf.MinLeaf,
+			FeatureSubset: subset,
+			Seed:          rng.Int63(),
+		}
+		if err := tree.FitClasses(bootX, bootY); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", ti, err)
+		}
+		rf.trees[ti] = tree
+	}
+	return nil
+}
+
+// PredictClass returns the majority vote of the ensemble, breaking ties on
+// sorted label order for determinism.
+func (rf *RandomForest) PredictClass(x []float64) (string, error) {
+	votes, err := rf.Votes(x)
+	if err != nil {
+		return "", err
+	}
+	best, bestVotes := "", -1
+	for _, l := range rf.labels {
+		if v := votes[l]; v > bestVotes {
+			best, bestVotes = l, v
+		}
+	}
+	return best, nil
+}
+
+// Votes returns the raw per-label vote counts, which the context detector
+// exposes as a detection confidence.
+func (rf *RandomForest) Votes(x []float64) (map[string]int, error) {
+	if len(rf.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if len(x) != rf.nDim {
+		return nil, fmt.Errorf("%w: feature length %d, model expects %d", ErrBadTrainingSet, len(x), rf.nDim)
+	}
+	votes := make(map[string]int, len(rf.labels))
+	for _, tree := range rf.trees {
+		label, err := tree.PredictClass(x)
+		if err != nil {
+			return nil, err
+		}
+		votes[label]++
+	}
+	return votes, nil
+}
+
+// Labels returns the sorted class labels seen at training time.
+func (rf *RandomForest) Labels() []string {
+	return append([]string(nil), rf.labels...)
+}

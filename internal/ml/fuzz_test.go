@@ -1,0 +1,41 @@
+package ml
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzKRRUnmarshal throws arbitrary JSON at the model decoder — the path
+// that parses bundles downloaded from the network must never panic.
+func FuzzKRRUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"rho":1,"kernel":"identity","primal":true,"dim":2,"w":[1,2]}`))
+	f.Add([]byte(`{"kernel":"rbf","gamma":0.5,"primal":false,"dim":1,"alpha":[1],"support":[[2]]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"kernel":"wavelet"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var k KRR
+		if err := json.Unmarshal(data, &k); err != nil {
+			return
+		}
+		// A model that decodes must be safe to score against (errors are
+		// fine, panics are not).
+		_, _ = k.Score([]float64{1, 2})
+	})
+}
+
+// FuzzTreeUnmarshal exercises the flattened-tree decoder, which must
+// reject cyclic or out-of-range child references rather than recursing
+// forever.
+func FuzzTreeUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"dim":1,"labels":["a"],"nodes":[{"f":-1,"lab":"a"}]}`))
+	f.Add([]byte(`{"dim":1,"labels":["a"],"nodes":[{"f":0,"t":0.5,"l":0,"r":0}]}`))
+	f.Add([]byte(`{"dim":2,"labels":["a","b"],"nodes":[{"f":0,"t":1,"l":1,"r":2},{"f":-1,"lab":"a"},{"f":-1,"lab":"b"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tree DecisionTree
+		if err := json.Unmarshal(data, &tree); err != nil {
+			return
+		}
+		_, _ = tree.PredictClass([]float64{0.5, 0.5})
+	})
+}

@@ -1,0 +1,177 @@
+package ml
+
+import (
+	"fmt"
+
+	"smarteryou/internal/linalg"
+)
+
+// IncrementalKRR is an identity-kernel KRR model that supports O(M^2)
+// online updates: adding a new window and — the "machine unlearning" of
+// Cao & Yang (S&P 2015) that Section V-I cites as the faster alternative
+// to retraining from scratch — removing an old one.
+//
+// The primal solution w* = (S + rho*I)^{-1} X y (Eq. 7) depends on the
+// data only through S = sum x_i x_i^T and b = sum y_i x_i. Both admit
+// exact rank-1 updates, and the inverse of the ridge-shifted S is
+// maintained directly with the Sherman-Morrison identity:
+//
+//	(A ± x x^T)^{-1} = A^{-1} ∓ (A^{-1} x)(x^T A^{-1}) / (1 ± x^T A^{-1} x)
+//
+// so both AddSample and RemoveSample cost O(M^2) instead of the O(M^3)
+// of a fresh solve — and crucially, removal needs no access to the other
+// training samples.
+type IncrementalKRR struct {
+	rho float64
+	dim int
+	n   int
+	inv *linalg.Matrix // (S + rho*I)^{-1}
+	b   []float64      // X y
+	w   []float64      // current weights, inv * b
+}
+
+var _ BinaryClassifier = (*IncrementalKRR)(nil)
+
+// NewIncrementalKRR returns an empty model for dim-dimensional features.
+// With no data, S = 0 and the inverse is (1/rho) I.
+func NewIncrementalKRR(rho float64, dim int) (*IncrementalKRR, error) {
+	if rho <= 0 {
+		return nil, fmt.Errorf("%w: rho must be positive, got %g", ErrBadTrainingSet, rho)
+	}
+	if dim <= 0 {
+		return nil, fmt.Errorf("%w: dimension must be positive, got %d", ErrBadTrainingSet, dim)
+	}
+	k := &IncrementalKRR{
+		rho: rho,
+		dim: dim,
+		inv: linalg.Identity(dim).Scale(1 / rho),
+		b:   make([]float64, dim),
+		w:   make([]float64, dim),
+	}
+	return k, nil
+}
+
+// Fit implements BinaryClassifier by resetting the model and adding every
+// sample; the result is numerically equivalent to the batch primal solve.
+func (k *IncrementalKRR) Fit(x [][]float64, y []bool) error {
+	dim, err := checkTrainingSet(x, y)
+	if err != nil {
+		return err
+	}
+	if dim != k.dim {
+		return fmt.Errorf("%w: feature dimension %d, model expects %d", ErrBadTrainingSet, dim, k.dim)
+	}
+	fresh, err := NewIncrementalKRR(k.rho, k.dim)
+	if err != nil {
+		return err
+	}
+	*k = *fresh
+	for i, row := range x {
+		if err := k.AddSample(row, y[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddSample folds one labelled window into the model.
+func (k *IncrementalKRR) AddSample(x []float64, label bool) error {
+	if len(x) != k.dim {
+		return fmt.Errorf("%w: feature length %d, model expects %d", ErrBadTrainingSet, len(x), k.dim)
+	}
+	if err := k.rankOneUpdate(x, +1); err != nil {
+		return err
+	}
+	target := signLabel(label)
+	for j, v := range x {
+		k.b[j] += target * v
+	}
+	k.n++
+	k.refreshWeights()
+	return nil
+}
+
+// RemoveSample unlearns one previously added window. The caller must pass
+// the same vector and label that were added; the model cannot verify
+// membership, only numerical feasibility.
+func (k *IncrementalKRR) RemoveSample(x []float64, label bool) error {
+	if len(x) != k.dim {
+		return fmt.Errorf("%w: feature length %d, model expects %d", ErrBadTrainingSet, len(x), k.dim)
+	}
+	if k.n == 0 {
+		return fmt.Errorf("%w: cannot remove from an empty model", ErrBadTrainingSet)
+	}
+	if err := k.rankOneUpdate(x, -1); err != nil {
+		return err
+	}
+	target := signLabel(label)
+	for j, v := range x {
+		k.b[j] -= target * v
+	}
+	k.n--
+	k.refreshWeights()
+	return nil
+}
+
+// rankOneUpdate applies Sherman-Morrison for S <- S + sign * x x^T.
+func (k *IncrementalKRR) rankOneUpdate(x []float64, sign float64) error {
+	// u = A^{-1} x.
+	u, err := k.inv.MulVec(x)
+	if err != nil {
+		return err
+	}
+	xu, err := linalg.Dot(x, u)
+	if err != nil {
+		return err
+	}
+	denom := 1 + sign*xu
+	if denom <= 1e-12 {
+		// Removing a vector that was never added (or numerical collapse):
+		// the downdate would make the matrix indefinite.
+		return fmt.Errorf("%w: rank-one downdate is infeasible (denominator %g)", ErrBadTrainingSet, denom)
+	}
+	scale := sign / denom
+	for i := 0; i < k.dim; i++ {
+		for j := 0; j < k.dim; j++ {
+			k.inv.Set(i, j, k.inv.At(i, j)-scale*u[i]*u[j])
+		}
+	}
+	return nil
+}
+
+// refreshWeights recomputes w = (S + rho I)^{-1} b in O(M^2).
+func (k *IncrementalKRR) refreshWeights() {
+	w, err := k.inv.MulVec(k.b)
+	if err != nil {
+		return // cannot happen: shapes are fixed at construction
+	}
+	k.w = w
+}
+
+// Score implements BinaryClassifier.
+func (k *IncrementalKRR) Score(x []float64) (float64, error) {
+	if k.n == 0 {
+		return 0, ErrNotFitted
+	}
+	if len(x) != k.dim {
+		return 0, fmt.Errorf("%w: feature length %d, model expects %d", ErrBadTrainingSet, len(x), k.dim)
+	}
+	return linalg.Dot(k.w, x)
+}
+
+// Predict implements BinaryClassifier.
+func (k *IncrementalKRR) Predict(x []float64) (bool, error) {
+	s, err := k.Score(x)
+	if err != nil {
+		return false, err
+	}
+	return s > 0, nil
+}
+
+// N returns the number of samples currently in the model.
+func (k *IncrementalKRR) N() int { return k.n }
+
+// Weights returns a copy of the current primal weight vector.
+func (k *IncrementalKRR) Weights() []float64 {
+	return append([]float64(nil), k.w...)
+}

@@ -1,0 +1,250 @@
+package sensing
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Behavioural drift (Section V-I): a user's motion habits change slowly
+// over days — cadence shifts, movements get more or less energetic, the
+// device is held a little differently. The drift path is a deterministic
+// function of the user's drift seed, so the same user re-generated at the
+// same day always behaves identically.
+
+// driftRates control how quickly each parameter family wanders per day.
+// Drift has two components: a per-user directional trend (habits shift in
+// a consistent direction — a new routine, new shoes, changing fitness)
+// and a day-scale random walk around it. The trend is what degrades a
+// day-0 model over a week (Fig. 7); the walk adds realistic irregularity.
+const (
+	driftGaitFreqSD = 0.02 // Hz per sqrt(day), random walk
+	driftAmpLogSD   = 0.05 // multiplicative, per sqrt(day), random walk
+	driftAngleSD    = 1.2  // degrees per sqrt(day), random walk
+	driftRateLogSD  = 0.05 // tap-rate multiplicative drift
+
+	trendGaitFreqSD = 0.005 // Hz per day, directional
+	trendAmpLogSD   = 0.014 // log-amplitude per day, directional
+	trendAngleSD    = 0.3   // degrees per day, directional
+)
+
+// ParamsAt returns the user's behavioural parameters after `day` days of
+// drift. Day 0 returns the enrollment-time parameters. Fractional days
+// interpolate the random walk linearly between the bracketing whole days.
+func (u *User) ParamsAt(day float64) UserParams {
+	if day <= 0 {
+		return u.Params
+	}
+	rng := rand.New(rand.NewSource(u.driftSeed))
+	// The trend direction is fixed per user: drawn first so the walk that
+	// follows consumes the stream identically for every day argument.
+	trend := drawTrend(rng)
+	p := u.Params
+
+	whole := int(math.Floor(day))
+	frac := day - float64(whole)
+	for d := 0; d < whole; d++ {
+		p = driftStep(p, 1, rng)
+	}
+	if frac > 0 {
+		p = driftStep(p, frac, rng)
+	}
+	return applyTrend(p, trend, day)
+}
+
+// paramTrend is the per-user directional drift rates.
+type paramTrend struct {
+	gaitFreq     float64
+	phone, watch deviceTrend
+}
+
+type deviceTrend struct {
+	gaitAmp      Axis3
+	gyrGaitAmp   Axis3
+	tremorAmp    float64
+	gyrTremorAmp float64
+	swayAmp      float64
+	gyrSwayAmp   float64
+	tapStrength  float64
+	holdPitch    float64
+	holdRoll     float64
+}
+
+func drawTrend(rng *rand.Rand) paramTrend {
+	dev := func() deviceTrend {
+		return deviceTrend{
+			gaitAmp: Axis3{
+				X: rng.NormFloat64() * trendAmpLogSD,
+				Y: rng.NormFloat64() * trendAmpLogSD,
+				Z: rng.NormFloat64() * trendAmpLogSD,
+			},
+			gyrGaitAmp: Axis3{
+				X: rng.NormFloat64() * trendAmpLogSD,
+				Y: rng.NormFloat64() * trendAmpLogSD,
+				Z: rng.NormFloat64() * trendAmpLogSD,
+			},
+			tremorAmp:    rng.NormFloat64() * trendAmpLogSD,
+			gyrTremorAmp: rng.NormFloat64() * trendAmpLogSD,
+			swayAmp:      rng.NormFloat64() * trendAmpLogSD,
+			gyrSwayAmp:   rng.NormFloat64() * trendAmpLogSD,
+			tapStrength:  rng.NormFloat64() * trendAmpLogSD,
+			holdPitch:    rng.NormFloat64() * trendAngleSD,
+			holdRoll:     rng.NormFloat64() * trendAngleSD,
+		}
+	}
+	return paramTrend{
+		gaitFreq: rng.NormFloat64() * trendGaitFreqSD,
+		phone:    dev(),
+		watch:    dev(),
+	}
+}
+
+func applyTrend(p UserParams, t paramTrend, day float64) UserParams {
+	p.GaitFreq = clamp(p.GaitFreq+t.gaitFreq*day, 1.2, 2.4)
+	p.Phone = applyDeviceTrend(p.Phone, t.phone, day)
+	p.Watch = applyDeviceTrend(p.Watch, t.watch, day)
+	return p
+}
+
+func applyDeviceTrend(dp DeviceParams, t deviceTrend, day float64) DeviceParams {
+	mul := func(v, rate float64) float64 { return v * math.Exp(rate*day) }
+	dp.GaitAmp.X = mul(dp.GaitAmp.X, t.gaitAmp.X)
+	dp.GaitAmp.Y = mul(dp.GaitAmp.Y, t.gaitAmp.Y)
+	dp.GaitAmp.Z = mul(dp.GaitAmp.Z, t.gaitAmp.Z)
+	dp.GyrGaitAmp.X = mul(dp.GyrGaitAmp.X, t.gyrGaitAmp.X)
+	dp.GyrGaitAmp.Y = mul(dp.GyrGaitAmp.Y, t.gyrGaitAmp.Y)
+	dp.GyrGaitAmp.Z = mul(dp.GyrGaitAmp.Z, t.gyrGaitAmp.Z)
+	dp.TremorAmp = mul(dp.TremorAmp, t.tremorAmp)
+	dp.GyrTremorAmp = mul(dp.GyrTremorAmp, t.gyrTremorAmp)
+	dp.SwayAmp = mul(dp.SwayAmp, t.swayAmp)
+	dp.GyrSwayAmp = mul(dp.GyrSwayAmp, t.gyrSwayAmp)
+	dp.TapStrength = mul(dp.TapStrength, t.tapStrength)
+	dp.HoldPitch = clamp(dp.HoldPitch+t.holdPitch*day, 0, 85)
+	dp.HoldRoll = clamp(dp.HoldRoll+t.holdRoll*day, -60, 60)
+	return dp
+}
+
+// driftStep advances the parameter random walk by `scale` of one day using
+// the next draws from rng. Every field consumes a fixed number of draws so
+// the path at day d is independent of how it was partitioned into steps.
+func driftStep(p UserParams, scale float64, rng *rand.Rand) UserParams {
+	s := math.Sqrt(scale)
+	p.GaitFreq += rng.NormFloat64() * driftGaitFreqSD * s
+	p.GaitFreq = clamp(p.GaitFreq, 1.2, 2.4)
+	p.Phone = driftDevice(p.Phone, s, rng)
+	p.Watch = driftDevice(p.Watch, s, rng)
+	return p
+}
+
+func driftDevice(dp DeviceParams, s float64, rng *rand.Rand) DeviceParams {
+	mul := func(v float64) float64 { return v * math.Exp(rng.NormFloat64()*driftAmpLogSD*s) }
+	dp.GaitAmp.X = mul(dp.GaitAmp.X)
+	dp.GaitAmp.Y = mul(dp.GaitAmp.Y)
+	dp.GaitAmp.Z = mul(dp.GaitAmp.Z)
+	dp.Harmonic2 = clamp(mul(dp.Harmonic2), 0.05, 0.9)
+	dp.StepImpact = mul(dp.StepImpact)
+	dp.GyrGaitAmp.X = mul(dp.GyrGaitAmp.X)
+	dp.GyrGaitAmp.Y = mul(dp.GyrGaitAmp.Y)
+	dp.GyrGaitAmp.Z = mul(dp.GyrGaitAmp.Z)
+	dp.TremorFreq = clamp(dp.TremorFreq+rng.NormFloat64()*0.05*s, 7, 13)
+	dp.TremorAmp = mul(dp.TremorAmp)
+	dp.GyrTremorAmp = mul(dp.GyrTremorAmp)
+	dp.SwayFreq = clamp(dp.SwayFreq+rng.NormFloat64()*0.01*s, 0.2, 1.5)
+	dp.SwayAmp = mul(dp.SwayAmp)
+	dp.GyrSwayAmp = mul(dp.GyrSwayAmp)
+	dp.TapRate = clamp(dp.TapRate*math.Exp(rng.NormFloat64()*driftRateLogSD*s), 0.2, 5)
+	dp.TapStrength = mul(dp.TapStrength)
+	dp.TapFreq = clamp(dp.TapFreq+rng.NormFloat64()*0.04*s, 4, 10)
+	dp.HoldPitch = clamp(dp.HoldPitch+rng.NormFloat64()*driftAngleSD*s, 0, 85)
+	dp.HoldRoll = clamp(dp.HoldRoll+rng.NormFloat64()*driftAngleSD*s, -60, 60)
+	return dp
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Mimic blends an attacker's own behaviour toward a victim's with the
+// given fidelity (Section V-G). Even for consciously controllable habits —
+// cadence, movement amplitude, hold angles — a human imitator can close
+// only part of the gap (watching a video does not transfer motor control),
+// and physiological signatures — tremor, tap transients, step-impact
+// sharpness — barely budge no matter how carefully the attacker watches
+// the victim. These execution limits are what keep the masquerading FAR
+// bounded and the Fig. 6 detection times short.
+func Mimic(attacker, victim UserParams, fidelity float64) UserParams {
+	f := clamp(fidelity, 0, 1)
+	// Conscious control closes at most ~55% of the behavioural gap;
+	// physiology at most ~20%.
+	fc := 0.55 * f
+	fp := 0.20 * f
+
+	out := attacker
+	out.GaitFreq = lerp(attacker.GaitFreq, victim.GaitFreq, fc)
+	out.Phone = mimicDevice(attacker.Phone, victim.Phone, fc, fp)
+	out.Watch = mimicDevice(attacker.Watch, victim.Watch, fc, fp)
+	return out
+}
+
+// mimicJitter models trial-to-trial execution error: a mimic cannot
+// reproduce even his own best imitation consistently, so every attack
+// session wobbles around the blended parameters.
+func mimicJitter(p UserParams, rng *rand.Rand) UserParams {
+	mul := func(v float64) float64 { return v * math.Exp(rng.NormFloat64()*0.12) }
+	p.GaitFreq = clamp(p.GaitFreq+rng.NormFloat64()*0.06, 1.2, 2.4)
+	for _, dp := range []*DeviceParams{&p.Phone, &p.Watch} {
+		dp.GaitAmp.X = mul(dp.GaitAmp.X)
+		dp.GaitAmp.Y = mul(dp.GaitAmp.Y)
+		dp.GaitAmp.Z = mul(dp.GaitAmp.Z)
+		dp.GyrGaitAmp.X = mul(dp.GyrGaitAmp.X)
+		dp.GyrGaitAmp.Y = mul(dp.GyrGaitAmp.Y)
+		dp.GyrGaitAmp.Z = mul(dp.GyrGaitAmp.Z)
+		dp.SwayAmp = mul(dp.SwayAmp)
+		dp.GyrSwayAmp = mul(dp.GyrSwayAmp)
+		dp.TremorAmp = mul(dp.TremorAmp)
+		dp.GyrTremorAmp = mul(dp.GyrTremorAmp)
+		dp.TapStrength = mul(dp.TapStrength)
+		dp.HoldPitch = clamp(dp.HoldPitch+rng.NormFloat64()*3, 0, 85)
+		dp.HoldRoll = clamp(dp.HoldRoll+rng.NormFloat64()*3, -60, 60)
+	}
+	return p
+}
+
+func mimicDevice(a, v DeviceParams, f, fp float64) DeviceParams {
+	out := a
+	// Consciously controllable.
+	out.GaitAmp.X = lerp(a.GaitAmp.X, v.GaitAmp.X, f)
+	out.GaitAmp.Y = lerp(a.GaitAmp.Y, v.GaitAmp.Y, f)
+	out.GaitAmp.Z = lerp(a.GaitAmp.Z, v.GaitAmp.Z, f)
+	out.GaitPhase.X = lerp(a.GaitPhase.X, v.GaitPhase.X, f)
+	out.GaitPhase.Y = lerp(a.GaitPhase.Y, v.GaitPhase.Y, f)
+	out.GaitPhase.Z = lerp(a.GaitPhase.Z, v.GaitPhase.Z, f)
+	out.HoldPitch = lerp(a.HoldPitch, v.HoldPitch, f)
+	out.HoldRoll = lerp(a.HoldRoll, v.HoldRoll, f)
+	out.TapRate = lerp(a.TapRate, v.TapRate, f)
+	// Physiological.
+	out.Harmonic2 = lerp(a.Harmonic2, v.Harmonic2, fp)
+	out.StepImpact = lerp(a.StepImpact, v.StepImpact, fp)
+	out.GyrGaitAmp.X = lerp(a.GyrGaitAmp.X, v.GyrGaitAmp.X, fp)
+	out.GyrGaitAmp.Y = lerp(a.GyrGaitAmp.Y, v.GyrGaitAmp.Y, fp)
+	out.GyrGaitAmp.Z = lerp(a.GyrGaitAmp.Z, v.GyrGaitAmp.Z, fp)
+	out.TremorFreq = lerp(a.TremorFreq, v.TremorFreq, fp)
+	out.TremorAmp = lerp(a.TremorAmp, v.TremorAmp, fp)
+	out.GyrTremorAmp = lerp(a.GyrTremorAmp, v.GyrTremorAmp, fp)
+	out.SwayFreq = lerp(a.SwayFreq, v.SwayFreq, fp)
+	out.SwayAmp = lerp(a.SwayAmp, v.SwayAmp, fp)
+	out.GyrSwayAmp = lerp(a.GyrSwayAmp, v.GyrSwayAmp, fp)
+	out.TapStrength = lerp(a.TapStrength, v.TapStrength, fp)
+	out.TapFreq = lerp(a.TapFreq, v.TapFreq, fp)
+	// Device-bound: the masquerader is holding the victim's hardware.
+	out.AccBias = v.AccBias
+	out.GyrBias = v.GyrBias
+	return out
+}
+
+func lerp(a, b, t float64) float64 { return a + (b-a)*t }

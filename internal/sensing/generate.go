@@ -1,0 +1,388 @@
+package sensing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Session describes one contiguous recording of a user under a fixed
+// context, the unit of data collection in both the lab experiments
+// (Section V-E1) and free-form usage (Section V-A).
+type Session struct {
+	// User whose behaviour is synthesized. Required.
+	User *User
+	// Context the user is in for the whole session.
+	Context Context
+	// Day is days since enrollment; it selects the point on the user's
+	// behavioural-drift path (Section V-I).
+	Day float64
+	// Seconds of data to generate.
+	Seconds float64
+	// Seed drives session-level environment state and measurement noise.
+	// Two sessions of the same user with different seeds differ the way
+	// two real recordings would.
+	Seed int64
+	// MimicOf, when non-nil, blends the session user's behaviour toward
+	// the given victim parameters with the given fidelity — the
+	// masquerading attack of Section V-G.
+	MimicOf *UserParams
+	// MimicFidelity in [0,1]: 0 = pure self-behaviour, 1 = perfect mimicry
+	// of everything an attacker can consciously control.
+	MimicFidelity float64
+}
+
+// envState is the session-level environment: everything the surroundings,
+// not the user, determine. It dominates the magnetometer, orientation and
+// light channels, which is why those sensors score near zero in Table II.
+type envState struct {
+	magOffset Axis3
+	oriBase   Axis3
+	lightBase float64
+	swayFreq  float64
+	swayAmp   float64
+	swayPhase float64
+	// holdJitterP/R: this session's deviation from the user's habitual
+	// hold angles — nobody holds the phone at exactly the same attitude
+	// twice.
+	holdJitterP float64
+	holdJitterR float64
+}
+
+func drawEnv(rng *rand.Rand) envState {
+	return envState{
+		magOffset: Axis3{
+			X: 25 + rng.NormFloat64()*9,
+			Y: 5 + rng.NormFloat64()*9,
+			Z: -40 + rng.NormFloat64()*9,
+		},
+		oriBase: Axis3{
+			X: 30 + rng.Float64()*300,    // azimuth: where the user faces (kept off the wrap point)
+			Y: rng.NormFloat64()*25 + 30, // session attitude pitch
+			Z: rng.NormFloat64() * 20,    // session attitude roll
+		},
+		lightBase:   math.Exp(uniform(rng, math.Log(8), math.Log(1200))),
+		swayFreq:    uniform(rng, 0.6, 1.6),
+		swayAmp:     uniform(rng, 0.25, 0.7),
+		swayPhase:   rng.Float64() * 2 * math.Pi,
+		holdJitterP: rng.NormFloat64() * 6,
+		holdJitterR: rng.NormFloat64() * 6,
+	}
+}
+
+// Generate synthesizes the stream one device observes during the session.
+func (s Session) Generate(dev Device) (*Stream, error) {
+	if s.User == nil {
+		return nil, fmt.Errorf("sensing: session has no user")
+	}
+	if s.Seconds <= 0 {
+		return nil, fmt.Errorf("sensing: session duration must be positive, got %g", s.Seconds)
+	}
+	switch s.Context {
+	case ContextStationaryUse, ContextMovingUse, ContextPhoneOnTable, ContextOnVehicle:
+	default:
+		return nil, fmt.Errorf("sensing: unknown context %v", s.Context)
+	}
+
+	params := s.User.ParamsAt(s.Day)
+	if s.MimicOf != nil {
+		params = Mimic(params, *s.MimicOf, s.MimicFidelity)
+		// Execution error: each attack trial wobbles around the blend.
+		params = mimicJitter(params, rand.New(rand.NewSource(s.Seed^0x6d696d6963)))
+	}
+	var dp DeviceParams
+	switch dev {
+	case DevicePhone:
+		dp = params.Phone
+	case DeviceWatch:
+		dp = params.Watch
+	default:
+		return nil, fmt.Errorf("sensing: unknown device %v", dev)
+	}
+
+	// The device stream gets its own deterministic noise source, while the
+	// environment is shared across devices of the same session.
+	envRng := rand.New(rand.NewSource(s.Seed))
+	env := drawEnv(envRng)
+	rng := rand.New(rand.NewSource(s.Seed ^ (int64(dev) << 32)))
+
+	n := int(s.Seconds * SampleRate)
+	out := &Stream{Rate: SampleRate, Samples: make([]Sample, n)}
+	g := newSignalGen(dp, params.GaitFreq, s.Context, dev, env, rng)
+	for i := 0; i < n; i++ {
+		out.Samples[i] = g.next()
+	}
+	return out, nil
+}
+
+// signalGen holds the per-sample synthesis state machine for one device.
+type signalGen struct {
+	dp  DeviceParams
+	ctx Context
+	dev Device
+	env envState
+	rng *rand.Rand
+	dt  float64
+	t   float64
+	hz  float64 // nominal gait frequency
+
+	gaitPhase   float64
+	curGaitFreq float64
+	sinceJitter float64
+
+	arMod    float64 // slow AR(1) amplitude modulation
+	tapEnv   float64 // tap transient envelope (gyro)
+	stepEnv  float64 // heel-strike transient envelope (acc)
+	lastHalf int     // which half of the gait cycle we were in (step events)
+
+	// Walking pause state: even in the moving context, people stop at
+	// crossings and doorways for a few seconds. Paused windows are the
+	// genuinely ambiguous cases that keep context detection below 100%.
+	paused    bool
+	pauseLeft float64
+
+	// Spectral clutter: a wandering narrowband component (turbulent limb
+	// and grip micro-motion) whose frequency re-draws every few seconds.
+	// It is what makes the *location* of the secondary spectral peak
+	// window-random — the reason the paper's KS test finds Peak2_f
+	// non-discriminative (Fig. 3) — while its user-scaled amplitude keeps
+	// Peak2 itself informative.
+	clutterFreq     float64
+	clutterPhase    float64
+	clutterAmp      float64
+	clutterGyrRatio float64
+	clutterLeft     float64
+
+	magAR   Axis3 // environment random walks
+	oriAR   Axis3
+	lightAR float64
+}
+
+func newSignalGen(dp DeviceParams, gaitFreq float64, ctx Context, dev Device, env envState, rng *rand.Rand) *signalGen {
+	return &signalGen{
+		dp:          dp,
+		ctx:         ctx,
+		dev:         dev,
+		env:         env,
+		rng:         rng,
+		dt:          1 / SampleRate,
+		hz:          gaitFreq,
+		curGaitFreq: gaitFreq,
+		gaitPhase:   rng.Float64() * 2 * math.Pi,
+	}
+}
+
+func (g *signalGen) next() Sample {
+	rng := g.rng
+	dp := g.dp
+
+	// Slow AR(1) modulation of movement intensity: the same user is a bit
+	// more or less energetic minute to minute.
+	g.arMod = 0.999*g.arMod + 0.0045*rng.NormFloat64()
+	mod := 1 + g.arMod
+
+	// Re-draw the instantaneous gait frequency every ~2 seconds: cadence
+	// wobbles within a walk.
+	g.sinceJitter += g.dt
+	if g.sinceJitter >= 2 {
+		g.sinceJitter = 0
+		g.curGaitFreq = g.hz + rng.NormFloat64()*0.035
+	}
+
+	// Pause state machine for the moving context.
+	if g.ctx == ContextMovingUse {
+		if g.paused {
+			g.pauseLeft -= g.dt
+			if g.pauseLeft <= 0 {
+				g.paused = false
+			}
+		} else if rng.Float64() < g.dt/45 {
+			// Roughly one pause per 45 s of walking, lasting 2-6 s.
+			g.paused = true
+			g.pauseLeft = 2 + 4*rng.Float64()
+		}
+	}
+	moving := g.ctx == ContextMovingUse && !g.paused
+	usingHands := g.ctx != ContextPhoneOnTable || g.dev == DeviceWatch
+
+	// Attitude: where gravity lands on the device axes.
+	pitch := dp.HoldPitch + g.env.holdJitterP
+	roll := dp.HoldRoll + g.env.holdJitterR
+	if g.ctx == ContextPhoneOnTable && g.dev == DevicePhone {
+		pitch, roll = 0, 0
+	}
+	pr := pitch * math.Pi / 180
+	rr := roll * math.Pi / 180
+	acc := Axis3{
+		X: -Gravity * math.Sin(pr),
+		Y: Gravity * math.Sin(rr) * math.Cos(pr),
+		Z: Gravity * math.Cos(rr) * math.Cos(pr),
+	}
+	var gyr Axis3
+
+	if moving {
+		g.gaitPhase += 2 * math.Pi * g.curGaitFreq * g.dt
+		p := g.gaitPhase
+		h2 := dp.Harmonic2
+		acc.X += mod * dp.GaitAmp.X * (math.Sin(p+dp.GaitPhase.X) + h2*math.Sin(2*p+2*dp.GaitPhase.X))
+		acc.Y += mod * dp.GaitAmp.Y * (math.Sin(p+dp.GaitPhase.Y) + h2*math.Sin(2*p+2*dp.GaitPhase.Y))
+		acc.Z += mod * dp.GaitAmp.Z * (math.Sin(p+dp.GaitPhase.Z) + h2*math.Sin(2*p+2*dp.GaitPhase.Z))
+		gyr.X += mod * dp.GyrGaitAmp.X * math.Sin(p+dp.GaitPhase.Y+0.7)
+		gyr.Y += mod * dp.GyrGaitAmp.Y * math.Sin(p+dp.GaitPhase.Z+1.3)
+		gyr.Z += mod * dp.GyrGaitAmp.Z * math.Sin(p+dp.GaitPhase.X+2.1)
+
+		// Heel strikes: one impulse per half gait cycle.
+		half := int(math.Floor(p / math.Pi))
+		if half != g.lastHalf {
+			g.lastHalf = half
+			g.stepEnv += dp.StepImpact * (0.8 + 0.4*rng.Float64())
+		}
+	}
+	g.stepEnv *= math.Exp(-g.dt / 0.05)
+	acc.Z += g.stepEnv
+	acc.X += 0.3 * g.stepEnv
+	acc.Y += 0.3 * g.stepEnv
+
+	// Physiological tremor and postural hand sway whenever the device is
+	// hand-held or worn. Their amplitudes, and the sway frequency, are
+	// strongly user-specific — the behavioural signal that makes
+	// stationary-context authentication possible at all.
+	if usingHands {
+		w := 2 * math.Pi * dp.TremorFreq * g.t
+		acc.X += mod * dp.TremorAmp * math.Sin(w)
+		acc.Y += mod * 0.7 * dp.TremorAmp * math.Sin(w+1.1)
+		acc.Z += mod * 0.5 * dp.TremorAmp * math.Sin(w+2.3)
+		gyr.X += mod * dp.GyrTremorAmp * math.Sin(w+0.5)
+		gyr.Y += mod * 0.8 * dp.GyrTremorAmp * math.Sin(w+1.7)
+		gyr.Z += mod * 0.6 * dp.GyrTremorAmp * math.Sin(w+2.9)
+
+		ws := 2 * math.Pi * dp.SwayFreq * g.t
+		acc.X += mod * 0.6 * dp.SwayAmp * math.Sin(ws+0.3)
+		acc.Y += mod * dp.SwayAmp * math.Sin(ws+1.9)
+		acc.Z += mod * 0.8 * dp.SwayAmp * math.Sin(ws+4.1)
+		gyr.X += mod * dp.GyrSwayAmp * math.Sin(ws+2.2)
+		gyr.Y += mod * 0.7 * dp.GyrSwayAmp * math.Sin(ws+0.9)
+		gyr.Z += mod * 0.5 * dp.GyrSwayAmp * math.Sin(ws+3.3)
+	}
+
+	// Touchscreen interaction transients: mostly a phone phenomenon; the
+	// watch sees an attenuated copy through the arm.
+	tapScale := 1.0
+	if g.dev == DeviceWatch {
+		tapScale = 0.3
+	}
+	if g.ctx == ContextPhoneOnTable && g.dev == DevicePhone {
+		tapScale = 0.15 // table damps the taps
+	}
+	tapRate := dp.TapRate
+	if moving {
+		tapRate *= 0.5 // fewer interactions while walking
+	}
+	if rng.Float64() < tapRate*g.dt {
+		g.tapEnv += dp.TapStrength * (0.7 + 0.6*rng.Float64())
+	}
+	g.tapEnv *= math.Exp(-g.dt / 0.12)
+	tap := tapScale * g.tapEnv * math.Sin(2*math.Pi*dp.TapFreq*g.t)
+	gyr.X += tap
+	gyr.Y += 0.6 * tap
+	gyr.Z += 1.2 * tap
+	acc.Z += 0.25 * tapScale * g.tapEnv
+
+	// Vehicle vibration: environment-driven, so it carries no user signal.
+	if g.ctx == ContextOnVehicle {
+		sway := g.env.swayAmp * math.Sin(2*math.Pi*g.env.swayFreq*g.t+g.env.swayPhase)
+		acc.X += 0.5 * sway
+		acc.Y += sway
+		acc.Z += 0.7*sway + rng.NormFloat64()*0.12
+		gyr.Y += 0.05 * sway
+	}
+
+	// Spectral clutter: re-draw the wandering component every ~3 s. Its
+	// amplitude scales with the user's own motion intensity (so Peak2
+	// stays user-informative) but its frequency is uniform over the band
+	// (so Peak2_f is not).
+	g.clutterLeft -= g.dt
+	if g.clutterLeft <= 0 {
+		g.clutterLeft = 2 + 2*rng.Float64()
+		g.clutterFreq = uniform(rng, 2.5, 16)
+		g.clutterPhase = rng.Float64() * 2 * math.Pi
+		var accScale, gyrScale float64
+		if moving {
+			meanGait := (dp.GaitAmp.X + dp.GaitAmp.Y + dp.GaitAmp.Z) / 3
+			meanGyr := (dp.GyrGaitAmp.X + dp.GyrGaitAmp.Y + dp.GyrGaitAmp.Z) / 3
+			accScale = 1.1 * dp.Harmonic2 * meanGait
+			gyrScale = 0.9 * dp.Harmonic2 * meanGyr
+		} else {
+			accScale = 1.1*dp.TremorAmp + 0.45*dp.SwayAmp
+			gyrScale = 0.9*dp.GyrTremorAmp + 0.4*dp.GyrSwayAmp
+		}
+		g.clutterAmp = (0.7 + 0.6*rng.Float64()) * accScale
+		// Stash the gyro scale in the ratio of the two for this burst.
+		if accScale > 0 {
+			g.clutterGyrRatio = gyrScale / accScale
+		} else {
+			g.clutterGyrRatio = 0
+		}
+	}
+	if usingHands {
+		cw := math.Sin(2*math.Pi*g.clutterFreq*g.t + g.clutterPhase)
+		acc.X += 0.8 * g.clutterAmp * cw
+		acc.Y += g.clutterAmp * math.Sin(2*math.Pi*g.clutterFreq*g.t+g.clutterPhase+1.3)
+		acc.Z += 0.6 * g.clutterAmp * math.Sin(2*math.Pi*g.clutterFreq*g.t+g.clutterPhase+2.6)
+		gc := g.clutterAmp * g.clutterGyrRatio
+		gyr.X += gc * cw
+		gyr.Y += 0.7 * gc * math.Sin(2*math.Pi*g.clutterFreq*g.t+g.clutterPhase+0.9)
+		gyr.Z += 0.5 * gc * math.Sin(2*math.Pi*g.clutterFreq*g.t+g.clutterPhase+2.1)
+	}
+
+	// Sensor calibration bias and measurement noise.
+	acc.X += dp.AccBias.X
+	acc.Y += dp.AccBias.Y
+	acc.Z += dp.AccBias.Z
+	gyr.X += dp.GyrBias.X
+	gyr.Y += dp.GyrBias.Y
+	gyr.Z += dp.GyrBias.Z
+	acc.X += rng.NormFloat64() * 0.05
+	acc.Y += rng.NormFloat64() * 0.05
+	acc.Z += rng.NormFloat64() * 0.05
+	gyr.X += rng.NormFloat64() * 0.008
+	gyr.Y += rng.NormFloat64() * 0.008
+	gyr.Z += rng.NormFloat64() * 0.008
+
+	// Environment-dominated sensors. Random walks with mild mean
+	// reversion around the session's environment state.
+	g.magAR.X = 0.995*g.magAR.X + rng.NormFloat64()*0.4
+	g.magAR.Y = 0.995*g.magAR.Y + rng.NormFloat64()*0.4
+	g.magAR.Z = 0.995*g.magAR.Z + rng.NormFloat64()*0.4
+	mag := Axis3{
+		X: g.env.magOffset.X + g.magAR.X + rng.NormFloat64()*0.3,
+		Y: g.env.magOffset.Y + g.magAR.Y + rng.NormFloat64()*0.3,
+		Z: g.env.magOffset.Z + g.magAR.Z + rng.NormFloat64()*0.3,
+	}
+
+	g.oriAR.X = 0.998*g.oriAR.X + rng.NormFloat64()*0.3
+	g.oriAR.Y = 0.998*g.oriAR.Y + rng.NormFloat64()*0.15
+	g.oriAR.Z = 0.998*g.oriAR.Z + rng.NormFloat64()*0.15
+	// Session attitude dominates; the user's hold habit leaks in weakly.
+	ori := Axis3{
+		X: g.env.oriBase.X + g.oriAR.X + 10*math.Sin(2*math.Pi*0.05*g.t),
+		Y: g.env.oriBase.Y + 0.08*pitch + g.oriAR.Y,
+		Z: g.env.oriBase.Z + 0.08*roll + g.oriAR.Z,
+	}
+
+	g.lightAR = 0.999*g.lightAR + rng.NormFloat64()*0.012
+	light := g.env.lightBase * math.Exp(g.lightAR)
+	if g.dev == DeviceWatch {
+		// The watch face catches marginally user-dependent lighting (how
+		// the wrist is worn), giving it the slightly higher — but still
+		// negligible — Fisher score Table II reports.
+		light *= 1 + 0.06*math.Sin(dp.HoldRoll*math.Pi/180)
+	}
+	light += rng.NormFloat64() * 2
+	if light < 0 {
+		light = 0
+	}
+
+	g.t += g.dt
+	return Sample{Acc: acc, Gyr: gyr, Mag: mag, Ori: ori, Light: light}
+}

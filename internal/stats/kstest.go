@@ -1,0 +1,141 @@
+// Package stats implements the statistical substrate of the SmarterYou
+// evaluation: the two-sample Kolmogorov-Smirnov test used to drop
+// non-discriminative features (Fig. 3), Pearson correlation used to drop
+// redundant features (Tables III and IV), Fisher scores used to select
+// sensors (Table II), box-plot quartile summaries, classification metrics
+// (FAR, FRR, accuracy, confusion matrices), and k-fold cross-validation.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a statistic needs more observations
+// than were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// KSResult is the outcome of a two-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// D is the maximum distance between the two empirical CDFs.
+	D float64
+	// PValue is the asymptotic probability of observing a distance at
+	// least as large as D under the null hypothesis that both samples come
+	// from the same distribution.
+	PValue float64
+}
+
+// KSTest performs the two-sample Kolmogorov-Smirnov test on samples a and
+// b. Rejecting the null (small p-value) indicates that the two samples —
+// e.g. the same feature computed for two different users — come from
+// different distributions, which is what makes a feature "good" for
+// authentication in the paper's Section V-C analysis.
+func KSTest(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrInsufficientData
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	// Walk both sorted samples computing the sup-distance between ECDFs.
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] <= x {
+			i++
+		}
+		for j < len(bs) && bs[j] <= x {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+
+	ne := na * nb / (na + nb)
+	// Asymptotic p-value with the Stephens small-sample correction, as used
+	// by standard numerical libraries.
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: kolmogorovQ(lambda)}, nil
+}
+
+// kolmogorovQ evaluates the Kolmogorov distribution's complementary CDF
+// Q(lambda) = 2 * sum_{k=1..inf} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const (
+		eps1    = 1e-3 // relative series convergence
+		eps2    = 1e-8 // absolute series convergence
+		maxIter = 100
+	)
+	sum, term, prev := 0.0, 2.0, 0.0
+	for k := 1; k <= maxIter; k++ {
+		t := term * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += t
+		if math.Abs(t) <= eps1*prev || math.Abs(t) <= eps2*sum {
+			if sum < 0 {
+				return 0
+			}
+			if sum > 1 {
+				return 1
+			}
+			return sum
+		}
+		prev = math.Abs(t)
+		term = -term
+	}
+	return 1 // failed to converge: be conservative, do not reject H0
+}
+
+// Quartiles summarizes a sample the way Fig. 3's box plots do.
+type Quartiles struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxStats computes the five-number summary of a sample using linear
+// interpolation between order statistics.
+func BoxStats(sample []float64) (Quartiles, error) {
+	if len(sample) == 0 {
+		return Quartiles{}, ErrInsufficientData
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return Quartiles{
+		Min:    s[0],
+		Q1:     Percentile(s, 25),
+		Median: Percentile(s, 50),
+		Q3:     Percentile(s, 75),
+		Max:    s[len(s)-1],
+	}, nil
+}
+
+// Percentile returns the p-th percentile (0-100) of an already sorted
+// sample, with linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKSTestSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("same distribution rejected: p = %v", res.PValue)
+	}
+	if res.D > 0.15 {
+		t.Errorf("D = %v unexpectedly large for same distribution", res.D)
+	}
+}
+
+func TestKSTestDifferentDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.5
+	}
+	res, err := KSTest(a, b)
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.PValue > 0.001 {
+		t.Errorf("shifted distribution not rejected: p = %v", res.PValue)
+	}
+}
+
+func TestKSTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res, err := KSTest(a, a)
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.D != 0 {
+		t.Errorf("identical samples: D = %v, want 0", res.D)
+	}
+	if res.PValue != 1 {
+		t.Errorf("identical samples: p = %v, want 1", res.PValue)
+	}
+}
+
+func TestKSTestEmpty(t *testing.T) {
+	if _, err := KSTest(nil, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("empty sample err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestKSTestDisjointSupports(t *testing.T) {
+	res, err := KSTest([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if err != nil {
+		t.Fatalf("KSTest: %v", err)
+	}
+	if res.D != 1 {
+		t.Errorf("disjoint supports: D = %v, want 1", res.D)
+	}
+}
+
+// Property: p-value in [0,1] and D in [0,1] for arbitrary samples.
+func TestKSTestBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 1+rng.Intn(100))
+		b := make([]float64, 1+rng.Intn(100))
+		for i := range a {
+			a[i] = rng.NormFloat64() * float64(1+rng.Intn(5))
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() + rng.Float64()*3
+		}
+		res, err := KSTest(a, b)
+		if err != nil {
+			return false
+		}
+		return res.D >= 0 && res.D <= 1 && res.PValue >= 0 && res.PValue <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the KS test is symmetric in its arguments.
+func TestKSTestSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 2+rng.Intn(60))
+		b := make([]float64, 2+rng.Intn(60))
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64() * 2
+		}
+		r1, err1 := KSTest(a, b)
+		r2, err2 := KSTest(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(r1.D-r2.D) < 1e-12 && math.Abs(r1.PValue-r2.PValue) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKolmogorovQMonotone(t *testing.T) {
+	prev := 1.0
+	for lambda := 0.1; lambda < 3; lambda += 0.1 {
+		q := kolmogorovQ(lambda)
+		if q > prev+1e-12 {
+			t.Fatalf("kolmogorovQ not monotone at lambda=%v: %v > %v", lambda, q, prev)
+		}
+		prev = q
+	}
+	if q := kolmogorovQ(0); q != 1 {
+		t.Errorf("kolmogorovQ(0) = %v, want 1", q)
+	}
+	if q := kolmogorovQ(5); q > 1e-9 {
+		t.Errorf("kolmogorovQ(5) = %v, want ~0", q)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	q, err := BoxStats([]float64{5, 1, 3, 2, 4})
+	if err != nil {
+		t.Fatalf("BoxStats: %v", err)
+	}
+	if q.Min != 1 || q.Max != 5 || q.Median != 3 {
+		t.Errorf("BoxStats = %+v", q)
+	}
+	if q.Q1 != 2 || q.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v, want 2/4", q.Q1, q.Q3)
+	}
+	if _, err := BoxStats(nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("BoxStats(nil) err = %v", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {105, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(s, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("single-element percentile = %v, want 7", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Errorf("empty percentile should be NaN")
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"sort"
+)
+
+// ROCPoint is one operating point of a score-threshold sweep.
+type ROCPoint struct {
+	Threshold float64
+	FRR       float64 // fraction of legitimate scores below the threshold
+	FAR       float64 // fraction of impostor scores at or above the threshold
+}
+
+// ROC sweeps every distinct observed score as a threshold and returns the
+// operating points ordered by increasing threshold. The related work the
+// paper compares against (Table I) frequently reports equal error rates;
+// this is the utility that produces them for our scores.
+func ROC(legitScores, impostorScores []float64) ([]ROCPoint, error) {
+	if len(legitScores) == 0 || len(impostorScores) == 0 {
+		return nil, ErrInsufficientData
+	}
+	legit := append([]float64(nil), legitScores...)
+	impostor := append([]float64(nil), impostorScores...)
+	sort.Float64s(legit)
+	sort.Float64s(impostor)
+
+	thresholds := make([]float64, 0, len(legit)+len(impostor))
+	thresholds = append(thresholds, legit...)
+	thresholds = append(thresholds, impostor...)
+	sort.Float64s(thresholds)
+	// Deduplicate.
+	uniq := thresholds[:0]
+	for i, t := range thresholds {
+		if i == 0 || t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+
+	out := make([]ROCPoint, 0, len(uniq))
+	for _, t := range uniq {
+		frr := float64(sort.SearchFloat64s(legit, t)) / float64(len(legit))
+		far := 1 - float64(sort.SearchFloat64s(impostor, t))/float64(len(impostor))
+		out = append(out, ROCPoint{Threshold: t, FRR: frr, FAR: far})
+	}
+	return out, nil
+}
+
+// EER returns the equal error rate — the value where FRR and FAR cross —
+// and the threshold achieving it, interpolating between the two bracketing
+// operating points.
+func EER(legitScores, impostorScores []float64) (rate, threshold float64, err error) {
+	points, err := ROC(legitScores, impostorScores)
+	if err != nil {
+		return 0, 0, err
+	}
+	// FRR is non-decreasing and FAR non-increasing in the threshold; find
+	// the crossing.
+	prev := points[0]
+	for _, p := range points[1:] {
+		if p.FRR >= p.FAR {
+			// Crossed between prev and p: interpolate on the gap.
+			gapPrev := prev.FAR - prev.FRR
+			gapCur := p.FRR - p.FAR
+			total := gapPrev + gapCur
+			if total <= 0 {
+				return (p.FRR + p.FAR) / 2, p.Threshold, nil
+			}
+			w := gapPrev / total
+			rate = prev.FRR*(1-w) + p.FRR*w
+			threshold = prev.Threshold*(1-w) + p.Threshold*w
+			return rate, threshold, nil
+		}
+		prev = p
+	}
+	last := points[len(points)-1]
+	return (last.FRR + last.FAR) / 2, last.Threshold, nil
+}
+
+// AUC returns the area under the ROC curve (TAR = 1-FRR against FAR),
+// computed by the Mann-Whitney U statistic: the probability that a random
+// legitimate score exceeds a random impostor score (ties count half).
+func AUC(legitScores, impostorScores []float64) (float64, error) {
+	if len(legitScores) == 0 || len(impostorScores) == 0 {
+		return 0, ErrInsufficientData
+	}
+	impostor := append([]float64(nil), impostorScores...)
+	sort.Float64s(impostor)
+	var u float64
+	for _, s := range legitScores {
+		below := sort.SearchFloat64s(impostor, s)
+		// Count ties at s with weight 1/2.
+		ties := 0
+		for i := below; i < len(impostor) && impostor[i] == s; i++ {
+			ties++
+		}
+		u += float64(below) + float64(ties)/2
+	}
+	return u / float64(len(legitScores)*len(impostor)), nil
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestROCSeparatedClasses(t *testing.T) {
+	legit := []float64{1, 1.1, 1.2, 1.3}
+	impostor := []float64{-1, -1.1, -1.2}
+	points, err := ROC(legit, impostor)
+	if err != nil {
+		t.Fatalf("ROC: %v", err)
+	}
+	// FRR must be non-decreasing, FAR non-increasing.
+	for i := 1; i < len(points); i++ {
+		if points[i].FRR < points[i-1].FRR-1e-12 {
+			t.Errorf("FRR decreased at %d", i)
+		}
+		if points[i].FAR > points[i-1].FAR+1e-12 {
+			t.Errorf("FAR increased at %d", i)
+		}
+	}
+	rate, threshold, err := EER(legit, impostor)
+	if err != nil {
+		t.Fatalf("EER: %v", err)
+	}
+	if rate > 1e-9 {
+		t.Errorf("EER = %v, want ~0 for separated classes", rate)
+	}
+	if threshold <= -1 || threshold > 1.3 {
+		t.Errorf("EER threshold = %v, want inside the score range", threshold)
+	}
+	auc, err := AUC(legit, impostor)
+	if err != nil {
+		t.Fatalf("AUC: %v", err)
+	}
+	if auc != 1 {
+		t.Errorf("AUC = %v, want 1 for separated classes", auc)
+	}
+}
+
+func TestROCOverlappingClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	legit := make([]float64, 500)
+	impostor := make([]float64, 500)
+	for i := range legit {
+		legit[i] = rng.NormFloat64() + 1
+		impostor[i] = rng.NormFloat64() - 1
+	}
+	rate, _, err := EER(legit, impostor)
+	if err != nil {
+		t.Fatalf("EER: %v", err)
+	}
+	// Two unit Gaussians two sigma apart: EER = Phi(-1) ~ 15.9%.
+	if math.Abs(rate-0.159) > 0.04 {
+		t.Errorf("EER = %v, want ~0.159", rate)
+	}
+	auc, err := AUC(legit, impostor)
+	if err != nil {
+		t.Fatalf("AUC: %v", err)
+	}
+	// AUC = Phi(2/sqrt(2)) ~ 0.921.
+	if math.Abs(auc-0.921) > 0.03 {
+		t.Errorf("AUC = %v, want ~0.921", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC(nil, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("empty legit err = %v", err)
+	}
+	if _, _, err := EER([]float64{1}, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("empty impostor err = %v", err)
+	}
+	if _, err := AUC(nil, nil); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("empty AUC err = %v", err)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	auc, err := AUC([]float64{0, 0}, []float64{0, 0})
+	if err != nil {
+		t.Fatalf("AUC: %v", err)
+	}
+	if auc != 0.5 {
+		t.Errorf("all-ties AUC = %v, want 0.5", auc)
+	}
+}
+
+// Property: EER in [0,1]; AUC in [0,1]; swapping classes maps AUC to
+// 1-AUC.
+func TestROCProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		legit := make([]float64, n)
+		impostor := make([]float64, n)
+		for i := range legit {
+			legit[i] = rng.NormFloat64() + rng.Float64()
+			impostor[i] = rng.NormFloat64() - rng.Float64()
+		}
+		rate, _, err := EER(legit, impostor)
+		if err != nil || rate < 0 || rate > 1 {
+			return false
+		}
+		auc, err := AUC(legit, impostor)
+		if err != nil || auc < 0 || auc > 1 {
+			return false
+		}
+		flipped, err := AUC(impostor, legit)
+		if err != nil {
+			return false
+		}
+		return math.Abs(auc+flipped-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

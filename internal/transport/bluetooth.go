@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smarteryou/internal/sensing"
+)
+
+// BluetoothLink simulates the BLE channel that streams smartwatch sensor
+// frames to the smartphone (Section IV-A1). Real BLE sensor streaming
+// loses occasional notification packets; the receiver conceals a lost
+// frame by holding the last received sample, which is what commercial
+// wearable SDKs do. The link lets the test suite and experiments check
+// that the feature pipeline tolerates a lossy watch channel.
+type BluetoothLink struct {
+	// FrameSamples is how many sensor samples travel per BLE notification
+	// (default 10, i.e. 200 ms of data at 50 Hz).
+	FrameSamples int
+	// DropRate is the per-frame loss probability (default 0.01).
+	DropRate float64
+	// Seed drives the loss process.
+	Seed int64
+}
+
+// Transmit passes a watch stream through the link, returning what the
+// phone receives. Lost frames are concealed by repeating the last
+// delivered sample.
+func (l BluetoothLink) Transmit(stream *sensing.Stream) (*sensing.Stream, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("transport: nil stream")
+	}
+	frame := l.FrameSamples
+	if frame <= 0 {
+		frame = 10
+	}
+	drop := l.DropRate
+	if drop < 0 || drop >= 1 {
+		return nil, fmt.Errorf("transport: drop rate %g outside [0,1)", drop)
+	}
+	rng := rand.New(rand.NewSource(l.Seed))
+	out := &sensing.Stream{Rate: stream.Rate, Samples: make([]sensing.Sample, len(stream.Samples))}
+	var last sensing.Sample
+	haveLast := false
+	for start := 0; start < len(stream.Samples); start += frame {
+		end := start + frame
+		if end > len(stream.Samples) {
+			end = len(stream.Samples)
+		}
+		lost := rng.Float64() < drop
+		for i := start; i < end; i++ {
+			if lost && haveLast {
+				out.Samples[i] = last
+			} else {
+				out.Samples[i] = stream.Samples[i]
+			}
+		}
+		if !lost || !haveLast {
+			last = stream.Samples[end-1]
+			haveLast = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+)
+
+// Client is the smartphone's view of the Authentication Server: enroll,
+// download the context detector, request (re)training, and fetch models.
+type Client struct {
+	addr    string
+	key     []byte
+	timeout time.Duration
+}
+
+// ClientConfig configures a client.
+type ClientConfig struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Key is the pre-shared HMAC key (must match the server's).
+	Key []byte
+	// Timeout bounds each round trip (default 30 s — the paper notes the
+	// system "does not pose a high requirement on the communication
+	// delay").
+	Timeout time.Duration
+}
+
+// NewClient builds a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("transport: client needs a server address")
+	}
+	if len(cfg.Key) == 0 {
+		return nil, fmt.Errorf("transport: client needs an HMAC key")
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Client{addr: cfg.Addr, key: cfg.Key, timeout: timeout}, nil
+}
+
+// roundTrip sends one request on a fresh connection and decodes the
+// response payload into out. Use NewSession to reuse a connection across
+// multiple round trips.
+func (c *Client) roundTrip(reqType string, payload any, out any) error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	defer func() { _ = conn.Close() }()
+	return doRequest(conn, c.key, c.timeout, reqType, payload, out)
+}
+
+// Enroll uploads feature windows collected during the enrollment phase.
+func (c *Client) Enroll(userID string, samples []features.WindowSample) (stored int, err error) {
+	var resp enrollResponse
+	err = c.roundTrip(TypeEnroll, enrollRequest{UserID: userID, Samples: samples}, &resp)
+	return resp.Stored, err
+}
+
+// ReplaceEnrollment uploads the user's latest behaviour, discarding the
+// stale windows — the retraining upload of Section V-I.
+func (c *Client) ReplaceEnrollment(userID string, samples []features.WindowSample) (stored int, err error) {
+	var resp enrollResponse
+	err = c.roundTrip(TypeEnroll, enrollRequest{UserID: userID, Replace: true, Samples: samples}, &resp)
+	return resp.Stored, err
+}
+
+// FetchDetector downloads the user-agnostic context-detection model.
+func (c *Client) FetchDetector() (*ctxdetect.Detector, error) {
+	var det ctxdetect.Detector
+	if err := c.roundTrip(TypeFetchDetector, nil, &det); err != nil {
+		return nil, err
+	}
+	return &det, nil
+}
+
+// TrainParams are the client-visible knobs of a training request.
+type TrainParams struct {
+	Mode        core.Mode
+	Rho         float64
+	MaxPerClass int
+	TargetFRR   float64
+	Seed        int64
+}
+
+// Train asks the server to train authentication models for the user and
+// returns the downloaded bundle.
+func (c *Client) Train(userID string, p TrainParams) (*core.ModelBundle, error) {
+	var resp trainResponse
+	err := c.roundTrip(TypeTrain, trainRequest{
+		UserID:      userID,
+		Mode:        p.Mode,
+		Rho:         p.Rho,
+		MaxPerClass: p.MaxPerClass,
+		TargetFRR:   p.TargetFRR,
+		Seed:        p.Seed,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Bundle == nil {
+		return nil, fmt.Errorf("transport: server returned no model bundle")
+	}
+	return resp.Bundle, nil
+}
+
+// Stats fetches the server's population-store summary.
+func (c *Client) Stats() (users, windows int, err error) {
+	var resp statsResponse
+	err = c.roundTrip(TypeStats, nil, &resp)
+	return resp.Users, resp.Windows, err
+}

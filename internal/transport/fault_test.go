@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerSurvivesGarbageFrames injects malformed traffic directly into
+// the server's TCP port: the connection handling must fail cleanly without
+// taking the server down for well-behaved clients.
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	det, byUser := buildFixture(t)
+	_, addr := startServer(t, det)
+
+	inject := func(payload []byte) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer func() { _ = conn.Close() }()
+		_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+		_, _ = conn.Write(payload)
+	}
+
+	// 1. Raw garbage bytes (not even a length header).
+	inject([]byte("GET / HTTP/1.1\r\n\r\n"))
+
+	// 2. A valid length header followed by non-JSON.
+	frame := make([]byte, 4+5)
+	binary.BigEndian.PutUint32(frame[:4], 5)
+	copy(frame[4:], "junk!")
+	inject(frame)
+
+	// 3. An oversized length declaration.
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, MaxFrameBytes+1)
+	inject(huge)
+
+	// 4. A truncated frame: header promises more than is sent.
+	trunc := make([]byte, 4+3)
+	binary.BigEndian.PutUint32(trunc[:4], 1000)
+	inject(trunc)
+
+	// A legitimate client must still be served.
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var samples = byUser["user-00"]
+	if _, err := client.Enroll("survivor", samples[:3]); err != nil {
+		t.Fatalf("legitimate enroll after garbage traffic: %v", err)
+	}
+}
+
+// TestServerRejectsReplayedEnvelopeAsOtherType ensures an attacker cannot
+// take a sealed envelope and reuse its MAC under a different message type
+// (the MAC binds the type).
+func TestServerRejectsReplayedEnvelopeAsOtherType(t *testing.T) {
+	det, _ := buildFixture(t)
+	_, addr := startServer(t, det)
+
+	env, err := Seal(testKey, TypeStats, nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	env.Type = TypeFetchDetector // replay under a different verb
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	_ = conn.SetDeadline(time.Now().Add(3 * time.Second))
+	if err := WriteFrame(conn, env); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	resp, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if resp.Type != TypeError {
+		t.Fatalf("replayed envelope got %q, want %q", resp.Type, TypeError)
+	}
+}

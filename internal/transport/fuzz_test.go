@@ -1,0 +1,47 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame throws arbitrary bytes at the framing layer: it must never
+// panic and never allocate unbounded memory (the MaxFrameBytes guard).
+func FuzzReadFrame(f *testing.F) {
+	// Seed with a valid frame, a truncated frame, an oversized header and
+	// garbage.
+	valid, err := Seal([]byte("k"), TypeStats, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 5, 'j', 'u', 'n', 'k', '!'})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte("GET / HTTP/1.1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A frame that parses must round-trip through the envelope layer
+		// without panicking; MAC verification may fail, which is fine.
+		_ = env.Open([]byte("k"), nil)
+	})
+}
+
+// FuzzEnvelopeOpen fuzzes the authenticated-envelope layer directly.
+func FuzzEnvelopeOpen(f *testing.F) {
+	f.Add("enroll", []byte(`{"user_id":"u"}`), []byte("mac"))
+	f.Add("", []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, msgType string, payload, mac []byte) {
+		env := Envelope{Type: msgType, Payload: payload, MAC: mac}
+		var out map[string]any
+		_ = env.Open([]byte("key"), &out)
+	})
+}

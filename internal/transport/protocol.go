@@ -1,0 +1,160 @@
+// Package transport implements the distributed pieces of the SmarterYou
+// architecture (Fig. 1): the cloud Authentication Server that stores
+// anonymized population data and trains models, the smartphone client that
+// enrolls, downloads models and requests retraining, and the simulated
+// Bluetooth link that streams smartwatch sensor data to the phone.
+//
+// The wire protocol is length-prefixed JSON over TCP. Every message
+// carries an HMAC-SHA256 tag keyed by a pre-shared secret, standing in for
+// the SSL/TLS channel protection of Section IV-C (stdlib-only constraint:
+// no certificate infrastructure, but integrity and a form of origin
+// authentication are real).
+package transport
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types exchanged between phone and Authentication Server.
+const (
+	// TypeEnroll uploads a user's labelled feature windows (enrollment or
+	// retraining upload).
+	TypeEnroll = "enroll"
+	// TypeFetchDetector downloads the user-agnostic context-detection
+	// model.
+	TypeFetchDetector = "fetch-detector"
+	// TypeTrain asks the server to train authentication models for a user
+	// and returns the model bundle.
+	TypeTrain = "train"
+	// TypeStats asks the server for its population statistics.
+	TypeStats = "stats"
+	// TypeOK is a generic success response.
+	TypeOK = "ok"
+	// TypeError carries a server-side failure.
+	TypeError = "error"
+)
+
+// Protocol limits.
+const (
+	// MaxFrameBytes bounds a single frame; model bundles and enrollment
+	// batches are well under this.
+	MaxFrameBytes = 64 << 20
+)
+
+// Errors returned by the framing layer.
+var (
+	// ErrBadMAC indicates a message failed integrity verification.
+	ErrBadMAC = errors.New("transport: message authentication failed")
+	// ErrFrameTooLarge indicates a declared frame length above the limit.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+)
+
+// Envelope is the authenticated wrapper around every protocol message.
+type Envelope struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	MAC     []byte          `json:"mac"`
+}
+
+// computeMAC tags type+payload with HMAC-SHA256.
+func computeMAC(key []byte, msgType string, payload []byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write([]byte(msgType))
+	mac.Write([]byte{0})
+	mac.Write(payload)
+	return mac.Sum(nil)
+}
+
+// Seal builds an authenticated envelope for the payload value.
+func Seal(key []byte, msgType string, payload any) (Envelope, error) {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return Envelope{}, fmt.Errorf("transport: marshal %s payload: %w", msgType, err)
+		}
+		raw = b
+	}
+	return Envelope{
+		Type:    msgType,
+		Payload: raw,
+		MAC:     computeMAC(key, msgType, raw),
+	}, nil
+}
+
+// Open verifies the envelope's MAC and unmarshals the payload into out
+// (out may be nil for payload-less messages).
+func (e Envelope) Open(key []byte, out any) error {
+	if !hmac.Equal(e.MAC, computeMAC(key, e.Type, e.Payload)) {
+		return ErrBadMAC
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(e.Payload, out); err != nil {
+		return fmt.Errorf("transport: unmarshal %s payload: %w", e.Type, err)
+	}
+	return nil
+}
+
+// WriteFrame writes one envelope as a length-prefixed JSON frame.
+func WriteFrame(w io.Writer, e Envelope) error {
+	blob, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("transport: marshal envelope: %w", err)
+	}
+	if len(blob) > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(blob)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(blob); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed envelope.
+func ReadFrame(r io.Reader) (Envelope, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return Envelope{}, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(header[:])
+	if n > MaxFrameBytes {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	blob := make([]byte, n)
+	if _, err := io.ReadFull(r, blob); err != nil {
+		return Envelope{}, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	var e Envelope
+	if err := json.Unmarshal(blob, &e); err != nil {
+		return Envelope{}, fmt.Errorf("transport: decode envelope: %w", err)
+	}
+	return e, nil
+}
+
+// errorPayload is the body of a TypeError response.
+type errorPayload struct {
+	Message string `json:"message"`
+}
+
+// RemoteError is a server-reported failure surfaced to the client.
+type RemoteError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return "transport: server error: " + e.Message
+}

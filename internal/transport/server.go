@@ -1,0 +1,292 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+)
+
+// enrollRequest uploads feature windows for a user.
+type enrollRequest struct {
+	UserID string `json:"user_id"`
+	// Replace discards previously stored windows for the user first —
+	// used by the retraining flow, which uploads the latest behaviour.
+	Replace bool                    `json:"replace,omitempty"`
+	Samples []features.WindowSample `json:"samples"`
+}
+
+// enrollResponse acknowledges an upload.
+type enrollResponse struct {
+	Stored int `json:"stored"`
+}
+
+// trainRequest asks for authentication models for a user.
+type trainRequest struct {
+	UserID      string    `json:"user_id"`
+	Mode        core.Mode `json:"mode"`
+	Rho         float64   `json:"rho,omitempty"`
+	MaxPerClass int       `json:"max_per_class,omitempty"`
+	TargetFRR   float64   `json:"target_frr,omitempty"`
+	Seed        int64     `json:"seed,omitempty"`
+}
+
+// trainResponse carries the trained bundle.
+type trainResponse struct {
+	Bundle *core.ModelBundle `json:"bundle"`
+}
+
+// statsResponse reports the server's population store.
+type statsResponse struct {
+	Users   int `json:"users"`
+	Windows int `json:"windows"`
+}
+
+// Server is the cloud Authentication Server of Section IV-A3. It stores
+// anonymized population feature data, serves the user-agnostic context
+// detector, and trains per-user authentication models on demand.
+type Server struct {
+	key      []byte
+	detector *ctxdetect.Detector
+	logf     func(format string, args ...any)
+
+	mu    sync.Mutex
+	store map[string][]features.WindowSample // anonymized user id -> windows
+
+	wg       sync.WaitGroup
+	listener net.Listener
+	closed   chan struct{}
+}
+
+// ServerConfig configures a new server.
+type ServerConfig struct {
+	// Key is the pre-shared HMAC key; required.
+	Key []byte
+	// Detector is the pre-trained user-agnostic context detector served to
+	// enrolling phones; required.
+	Detector *ctxdetect.Detector
+	// Logf receives server logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer builds a server (not yet listening).
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if len(cfg.Key) == 0 {
+		return nil, fmt.Errorf("transport: server needs an HMAC key")
+	}
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("transport: server needs a context detector")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		key:      cfg.Key,
+		detector: cfg.Detector,
+		logf:     logf,
+		store:    make(map[string][]features.WindowSample),
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// SeedPopulation preloads anonymized population windows (the data of
+// previously enrolled users), keyed by any stable identifier; identifiers
+// are anonymized before storage.
+func (s *Server) SeedPopulation(byUser map[string][]features.WindowSample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, samples := range byUser {
+		anon := anonymize(id)
+		s.store[anon] = append(s.store[anon], anonymizeSamples(anon, samples)...)
+	}
+}
+
+// anonymize maps a user identifier to a stable pseudonym so that one
+// user's training module can use other users' feature data "but has no way
+// to know the other users' identities" (Section IV-A3).
+func anonymize(userID string) string {
+	sum := sha256.Sum256([]byte("smarteryou-anon:" + userID))
+	return "anon-" + hex.EncodeToString(sum[:8])
+}
+
+func anonymizeSamples(anon string, in []features.WindowSample) []features.WindowSample {
+	out := make([]features.WindowSample, len(in))
+	for i, w := range in {
+		w.UserID = anon
+		out[i] = w
+	}
+	return out
+}
+
+// Start begins listening on addr (e.g. "127.0.0.1:0") and serving
+// connections until Close. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s.listener = ln
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			s.logf("accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				if err := conn.Close(); err != nil {
+					s.logf("close conn: %v", err)
+				}
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn handles one client connection: a loop of request frames.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		env, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				s.logf("read frame: %v", err)
+			}
+			return
+		}
+		resp := s.dispatch(env)
+		if err := WriteFrame(conn, resp); err != nil {
+			s.logf("write frame: %v", err)
+			return
+		}
+	}
+}
+
+// dispatch verifies and executes one request, always producing a response
+// envelope (errors become TypeError).
+func (s *Server) dispatch(env Envelope) Envelope {
+	respond := func(msgType string, payload any) Envelope {
+		out, err := Seal(s.key, msgType, payload)
+		if err != nil {
+			s.logf("seal response: %v", err)
+			fallback, _ := Seal(s.key, TypeError, errorPayload{Message: "internal error"})
+			return fallback
+		}
+		return out
+	}
+	fail := func(err error) Envelope {
+		s.logf("request %s failed: %v", env.Type, err)
+		return respond(TypeError, errorPayload{Message: err.Error()})
+	}
+
+	switch env.Type {
+	case TypeEnroll:
+		var req enrollRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		if req.UserID == "" {
+			return fail(fmt.Errorf("enroll: missing user id"))
+		}
+		anon := anonymize(req.UserID)
+		s.mu.Lock()
+		if req.Replace {
+			s.store[anon] = nil
+		}
+		s.store[anon] = append(s.store[anon], anonymizeSamples(anon, req.Samples)...)
+		stored := len(s.store[anon])
+		s.mu.Unlock()
+		return respond(TypeOK, enrollResponse{Stored: stored})
+
+	case TypeFetchDetector:
+		if err := env.Open(s.key, nil); err != nil {
+			return fail(err)
+		}
+		return respond(TypeOK, s.detector)
+
+	case TypeTrain:
+		var req trainRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		bundle, err := s.train(req)
+		if err != nil {
+			return fail(err)
+		}
+		return respond(TypeOK, trainResponse{Bundle: bundle})
+
+	case TypeStats:
+		if err := env.Open(s.key, nil); err != nil {
+			return fail(err)
+		}
+		s.mu.Lock()
+		users, windows := len(s.store), 0
+		for _, samples := range s.store {
+			windows += len(samples)
+		}
+		s.mu.Unlock()
+		return respond(TypeOK, statsResponse{Users: users, Windows: windows})
+
+	default:
+		return fail(fmt.Errorf("unknown request type %q", env.Type))
+	}
+}
+
+// train runs the training module for one user: positives are the user's
+// stored windows, negatives are every other (anonymized) user's.
+func (s *Server) train(req trainRequest) (*core.ModelBundle, error) {
+	anon := anonymize(req.UserID)
+	s.mu.Lock()
+	legit := append([]features.WindowSample(nil), s.store[anon]...)
+	var impostor []features.WindowSample
+	for id, samples := range s.store {
+		if id != anon {
+			impostor = append(impostor, samples...)
+		}
+	}
+	s.mu.Unlock()
+	if len(legit) == 0 {
+		return nil, fmt.Errorf("train: user %s has no enrolled data", req.UserID)
+	}
+	if len(impostor) == 0 {
+		return nil, fmt.Errorf("train: population store has no other users")
+	}
+	return core.Train(legit, impostor, core.TrainConfig{
+		Mode:        req.Mode,
+		Rho:         req.Rho,
+		MaxPerClass: req.MaxPerClass,
+		TargetFRR:   req.TargetFRR,
+		Seed:        req.Seed,
+	})
+}

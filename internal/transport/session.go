@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+)
+
+// doRequest performs one request/response exchange on an established
+// connection.
+func doRequest(conn net.Conn, key []byte, timeout time.Duration, reqType string, payload, out any) error {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return fmt.Errorf("transport: set deadline: %w", err)
+	}
+	env, err := Seal(key, reqType, payload)
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(conn, env); err != nil {
+		return err
+	}
+	resp, err := ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("transport: read response: %w", err)
+	}
+	if resp.Type == TypeError {
+		var ep errorPayload
+		if err := resp.Open(key, &ep); err != nil {
+			return err
+		}
+		return &RemoteError{Message: ep.Message}
+	}
+	if resp.Type != TypeOK {
+		return fmt.Errorf("transport: unexpected response type %q", resp.Type)
+	}
+	return resp.Open(key, out)
+}
+
+// Session is a connection-reusing view of the Authentication Server: the
+// retraining flow (upload then train then download) runs several round
+// trips back to back, and reusing one TCP connection avoids repeated
+// handshakes on the metered mobile link. Safe for concurrent use; requests
+// are serialized on the single connection.
+type Session struct {
+	key     []byte
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewSession dials the server once and returns a reusable session. Close
+// it when done.
+func (c *Client) NewSession() (*Session, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	return &Session{key: c.key, timeout: c.timeout, conn: conn}, nil
+}
+
+// Close releases the underlying connection.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	return err
+}
+
+func (s *Session) roundTrip(reqType string, payload, out any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		return fmt.Errorf("transport: session is closed")
+	}
+	return doRequest(s.conn, s.key, s.timeout, reqType, payload, out)
+}
+
+// Enroll uploads feature windows on the session connection.
+func (s *Session) Enroll(userID string, samples []features.WindowSample) (stored int, err error) {
+	var resp enrollResponse
+	err = s.roundTrip(TypeEnroll, enrollRequest{UserID: userID, Samples: samples}, &resp)
+	return resp.Stored, err
+}
+
+// ReplaceEnrollment uploads the user's latest behaviour, discarding stale
+// windows.
+func (s *Session) ReplaceEnrollment(userID string, samples []features.WindowSample) (stored int, err error) {
+	var resp enrollResponse
+	err = s.roundTrip(TypeEnroll, enrollRequest{UserID: userID, Replace: true, Samples: samples}, &resp)
+	return resp.Stored, err
+}
+
+// FetchDetector downloads the context-detection model.
+func (s *Session) FetchDetector() (*ctxdetect.Detector, error) {
+	var det ctxdetect.Detector
+	if err := s.roundTrip(TypeFetchDetector, nil, &det); err != nil {
+		return nil, err
+	}
+	return &det, nil
+}
+
+// Train asks the server to train and returns the model bundle.
+func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error) {
+	var resp trainResponse
+	err := s.roundTrip(TypeTrain, trainRequest{
+		UserID:      userID,
+		Mode:        p.Mode,
+		Rho:         p.Rho,
+		MaxPerClass: p.MaxPerClass,
+		TargetFRR:   p.TargetFRR,
+		Seed:        p.Seed,
+	}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Bundle == nil {
+		return nil, fmt.Errorf("transport: server returned no model bundle")
+	}
+	return resp.Bundle, nil
+}
+
+// Stats fetches the server's population summary.
+func (s *Session) Stats() (users, windows int, err error) {
+	var resp statsResponse
+	err = s.roundTrip(TypeStats, nil, &resp)
+	return resp.Users, resp.Windows, err
+}

@@ -1,0 +1,366 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+)
+
+var testKey = []byte("test-pre-shared-key")
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	type payload struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	env, err := Seal(testKey, "custom", payload{A: 7, B: "x"})
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	var got payload
+	if err := env.Open(testKey, &got); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got.A != 7 || got.B != "x" {
+		t.Errorf("payload = %+v", got)
+	}
+}
+
+func TestOpenRejectsTamperedPayload(t *testing.T) {
+	env, err := Seal(testKey, TypeEnroll, enrollRequest{UserID: "alice"})
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	env.Payload = []byte(`{"user_id":"mallory"}`)
+	var req enrollRequest
+	if err := env.Open(testKey, &req); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("tampered payload err = %v, want ErrBadMAC", err)
+	}
+}
+
+func TestOpenRejectsTamperedType(t *testing.T) {
+	env, err := Seal(testKey, TypeStats, nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	env.Type = TypeTrain // replay a stats request as a train request
+	if err := env.Open(testKey, nil); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("type-swapped err = %v, want ErrBadMAC", err)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	env, err := Seal(testKey, TypeStats, nil)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := env.Open([]byte("other-key"), nil); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("wrong key err = %v, want ErrBadMAC", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	env, err := Seal(testKey, TypeOK, enrollResponse{Stored: 5})
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	var resp enrollResponse
+	if err := got.Open(testKey, &resp); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if resp.Stored != 5 {
+		t.Errorf("Stored = %d, want 5", resp.Stored)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// buildFixture produces a detector + per-user data for server tests.
+func buildFixture(t *testing.T) (*ctxdetect.Detector, map[string][]features.WindowSample) {
+	t.Helper()
+	pop, err := sensing.NewPopulation(5, 777)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	byUser := make(map[string][]features.WindowSample)
+	var ctxTrain []features.WindowSample
+	for i, u := range pop.Users {
+		samples, err := features.Collect(u, features.CollectOptions{
+			WindowSeconds:  6,
+			SessionSeconds: 60,
+			Sessions:       1,
+			Seed:           int64(10 + i),
+		})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		byUser[u.ID] = samples
+		ctxTrain = append(ctxTrain, samples...)
+	}
+	det, err := ctxdetect.Train(ctxdetect.FromSamples(ctxTrain), ctxdetect.Config{Seed: 1, Trees: 10})
+	if err != nil {
+		t.Fatalf("ctxdetect.Train: %v", err)
+	}
+	return det, byUser
+}
+
+func startServer(t *testing.T, det *ctxdetect.Detector) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Key: testKey, Detector: det})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return srv, addr.String()
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	det, byUser := buildFixture(t)
+	srv, addr := startServer(t, det)
+
+	// Preload the anonymized population with everyone but user-00.
+	seed := make(map[string][]features.WindowSample)
+	for id, samples := range byUser {
+		if id != "user-00" {
+			seed[id] = samples
+		}
+	}
+	srv.SeedPopulation(seed)
+
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	// 1. Download the context detector.
+	gotDet, err := client.FetchDetector()
+	if err != nil {
+		t.Fatalf("FetchDetector: %v", err)
+	}
+	if gotDet == nil {
+		t.Fatalf("FetchDetector returned nil")
+	}
+
+	// 2. Enroll user-00.
+	stored, err := client.Enroll("user-00", byUser["user-00"])
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if stored != len(byUser["user-00"]) {
+		t.Errorf("stored %d windows, want %d", stored, len(byUser["user-00"]))
+	}
+
+	// 3. Train and download a model bundle.
+	bundle, err := client.Train("user-00", TrainParams{
+		Mode: core.Mode{Combined: true, UseContext: true},
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	// 4. The downloaded models + detector must authenticate locally.
+	auth, err := core.NewAuthenticator(gotDet, bundle)
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	ownAccepted := 0
+	for _, s := range byUser["user-00"] {
+		d, err := auth.Authenticate(s)
+		if err != nil {
+			t.Fatalf("Authenticate: %v", err)
+		}
+		if d.Accepted {
+			ownAccepted++
+		}
+	}
+	if frac := float64(ownAccepted) / float64(len(byUser["user-00"])); frac < 0.8 {
+		t.Errorf("downloaded model accepts only %v of the owner's windows", frac)
+	}
+
+	// 5. Server stats reflect the population.
+	users, windows, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if users != 5 {
+		t.Errorf("stats users = %d, want 5", users)
+	}
+	if windows == 0 {
+		t.Errorf("stats windows = 0")
+	}
+}
+
+func TestServerAnonymizesPopulation(t *testing.T) {
+	det, byUser := buildFixture(t)
+	srv, _ := startServer(t, det)
+	srv.SeedPopulation(byUser)
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	for anonID, samples := range srv.store {
+		if anonID == "user-00" || anonID == "user-01" {
+			t.Errorf("store key %q leaks a real user id", anonID)
+		}
+		for _, s := range samples {
+			if s.UserID != anonID {
+				t.Errorf("stored sample carries id %q, want pseudonym %q", s.UserID, anonID)
+			}
+		}
+	}
+}
+
+func TestServerTrainWithoutEnrollment(t *testing.T) {
+	det, byUser := buildFixture(t)
+	srv, addr := startServer(t, det)
+	srv.SeedPopulation(map[string][]features.WindowSample{"user-01": byUser["user-01"]})
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var remote *RemoteError
+	if _, err := client.Train("ghost", TrainParams{}); !errors.As(err, &remote) {
+		t.Errorf("training an unenrolled user: err = %v, want RemoteError", err)
+	}
+}
+
+func TestServerRejectsWrongKeyClient(t *testing.T) {
+	det, _ := buildFixture(t)
+	_, addr := startServer(t, det)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: []byte("wrong")})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	_, _, err = client.Stats()
+	if err == nil {
+		t.Fatalf("wrong-key client should fail")
+	}
+	// The server answers with an error envelope sealed under ITS key, so
+	// the client sees either a MAC failure or a remote error — both fail.
+}
+
+func TestReplaceEnrollment(t *testing.T) {
+	det, byUser := buildFixture(t)
+	_, addr := startServer(t, det)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := client.Enroll("user-00", byUser["user-00"]); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	stored, err := client.ReplaceEnrollment("user-00", byUser["user-00"][:3])
+	if err != nil {
+		t.Fatalf("ReplaceEnrollment: %v", err)
+	}
+	if stored != 3 {
+		t.Errorf("after replace, stored = %d, want 3", stored)
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{Key: testKey}); err == nil {
+		t.Errorf("missing addr should error")
+	}
+	if _, err := NewClient(ClientConfig{Addr: "x"}); err == nil {
+		t.Errorf("missing key should error")
+	}
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Errorf("missing server key should error")
+	}
+	if _, err := NewServer(ServerConfig{Key: testKey}); err == nil {
+		t.Errorf("missing detector should error")
+	}
+}
+
+func TestBluetoothLinkLossless(t *testing.T) {
+	pop, _ := sensing.NewPopulation(1, 5)
+	stream, err := sensing.Session{
+		User: pop.Users[0], Context: sensing.ContextMovingUse, Seconds: 5, Seed: 2,
+	}.Generate(sensing.DeviceWatch)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	out, err := BluetoothLink{DropRate: 0}.Transmit(stream)
+	if err != nil {
+		t.Fatalf("Transmit: %v", err)
+	}
+	for i := range stream.Samples {
+		if out.Samples[i] != stream.Samples[i] {
+			t.Fatalf("lossless link altered sample %d", i)
+		}
+	}
+}
+
+func TestBluetoothLinkConcealsLoss(t *testing.T) {
+	pop, _ := sensing.NewPopulation(1, 6)
+	stream, err := sensing.Session{
+		User: pop.Users[0], Context: sensing.ContextMovingUse, Seconds: 20, Seed: 3,
+	}.Generate(sensing.DeviceWatch)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	out, err := BluetoothLink{DropRate: 0.3, Seed: 9}.Transmit(stream)
+	if err != nil {
+		t.Fatalf("Transmit: %v", err)
+	}
+	if len(out.Samples) != len(stream.Samples) {
+		t.Fatalf("length changed: %d -> %d", len(stream.Samples), len(out.Samples))
+	}
+	changed := 0
+	for i := range stream.Samples {
+		if out.Samples[i] != stream.Samples[i] {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Errorf("30%% drop rate concealed nothing")
+	}
+	// Concealment must still allow feature extraction.
+	wins, err := features.ExtractWindows(out, 6)
+	if err != nil {
+		t.Fatalf("ExtractWindows on lossy stream: %v", err)
+	}
+	if len(wins) == 0 {
+		t.Errorf("no windows from lossy stream")
+	}
+}
+
+func TestBluetoothLinkValidation(t *testing.T) {
+	if _, err := (BluetoothLink{}).Transmit(nil); err == nil {
+		t.Errorf("nil stream should error")
+	}
+	pop, _ := sensing.NewPopulation(1, 7)
+	stream, _ := sensing.Session{
+		User: pop.Users[0], Context: sensing.ContextStationaryUse, Seconds: 1, Seed: 1,
+	}.Generate(sensing.DeviceWatch)
+	if _, err := (BluetoothLink{DropRate: 1.5}).Transmit(stream); err == nil {
+		t.Errorf("bad drop rate should error")
+	}
+}

@@ -1,0 +1,262 @@
+// Package smarteryou is the public API of this reproduction of
+// "Implicit Smartphone User Authentication with Sensors and Contextual
+// Machine Learning" (Lee & Lee, DSN 2017) — the SmarterYou system.
+//
+// SmarterYou continuously re-authenticates a smartphone user from the
+// accelerometer and gyroscope of the phone (and, when present, a paired
+// smartwatch), without user interaction and without permission-gated
+// sensors. The pipeline is:
+//
+//	sensors -> 6 s windows -> time+frequency features (Eq. 1-4)
+//	        -> user-agnostic context detection (stationary / moving)
+//	        -> per-context kernel ridge regression classifier
+//	        -> response module (allow / deny / lock)
+//	        -> confidence-score retraining monitor
+//
+// This package re-exports the user-facing types of the internal
+// implementation packages. A minimal flow:
+//
+//	pop, _ := smarteryou.NewPopulation(35, 1)          // or your own sensor source
+//	owner := pop.Users[0]
+//	samples, _ := smarteryou.Collect(owner, smarteryou.CollectOptions{})
+//	det, _ := smarteryou.TrainContextDetector(
+//		smarteryou.ContextTrainingData(otherUsersSamples), smarteryou.DetectorConfig{})
+//	bundle, _ := smarteryou.Train(samples, impostorSamples, smarteryou.TrainConfig{
+//		Mode: smarteryou.Mode{Combined: true, UseContext: true},
+//	})
+//	auth, _ := smarteryou.NewAuthenticator(det, bundle)
+//	decision, _ := auth.Authenticate(window)
+//
+// See the examples/ directory for complete programs, and DESIGN.md for
+// how each paper experiment maps onto the implementation.
+package smarteryou
+
+import (
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+	"smarteryou/internal/transport"
+)
+
+// Sensing: synthetic users, devices, contexts, signal generation.
+type (
+	// User is one device owner: a generative behavioural model plus
+	// demographics.
+	User = sensing.User
+	// UserParams is a user's full behavioural parameter set.
+	UserParams = sensing.UserParams
+	// Population is a cohort of users (the study's participant pool).
+	Population = sensing.Population
+	// Session is one contiguous recording of a user in a fixed context.
+	Session = sensing.Session
+	// Stream is a fixed-rate sequence of sensor samples from one device.
+	Stream = sensing.Stream
+	// Sample is one 20 ms snapshot of all sensors on a device.
+	Sample = sensing.Sample
+	// Device identifies the smartphone or the smartwatch.
+	Device = sensing.Device
+	// Context is a fine-grained usage context (Section V-E).
+	Context = sensing.Context
+	// CoarseContext is the detected two-class context.
+	CoarseContext = sensing.CoarseContext
+)
+
+// Devices.
+const (
+	DevicePhone = sensing.DevicePhone
+	DeviceWatch = sensing.DeviceWatch
+)
+
+// Fine-grained contexts.
+const (
+	ContextStationaryUse = sensing.ContextStationaryUse
+	ContextMovingUse     = sensing.ContextMovingUse
+	ContextPhoneOnTable  = sensing.ContextPhoneOnTable
+	ContextOnVehicle     = sensing.ContextOnVehicle
+)
+
+// Coarse contexts.
+const (
+	CoarseStationary = sensing.CoarseStationary
+	CoarseMoving     = sensing.CoarseMoving
+)
+
+// SampleRate is the 50 Hz sensor sampling rate used throughout the paper.
+const SampleRate = sensing.SampleRate
+
+// NewPopulation draws n synthetic users deterministically from a seed.
+func NewPopulation(n int, seed int64) (*Population, error) {
+	return sensing.NewPopulation(n, seed)
+}
+
+// Mimic blends an attacker's behaviour toward a victim's with the given
+// fidelity — the masquerading attack model of Section V-G.
+func Mimic(attacker, victim UserParams, fidelity float64) UserParams {
+	return sensing.Mimic(attacker, victim, fidelity)
+}
+
+// Features: windowing and the paper's feature vectors.
+type (
+	// WindowSample is one authentication observation: both devices'
+	// features for the same time window.
+	WindowSample = features.WindowSample
+	// DeviceFeatures is one device's per-window feature summary.
+	DeviceFeatures = features.DeviceFeatures
+	// SensorFeatures is one sensor's nine candidate statistics.
+	SensorFeatures = features.SensorFeatures
+	// CollectOptions configures synthetic data collection for a user.
+	CollectOptions = features.CollectOptions
+)
+
+// Collect records sessions for a user and extracts windowed features from
+// both devices — the enrollment / free-form collection campaign.
+func Collect(u *User, opt CollectOptions) ([]WindowSample, error) {
+	return features.Collect(u, opt)
+}
+
+// ExtractWindows slices a raw stream into windows and computes features.
+func ExtractWindows(stream *Stream, windowSeconds float64) ([]DeviceFeatures, error) {
+	return features.ExtractWindows(stream, windowSeconds)
+}
+
+// Context detection.
+type (
+	// Detector is the trained user-agnostic context classifier.
+	Detector = ctxdetect.Detector
+	// DetectorConfig tunes detector training.
+	DetectorConfig = ctxdetect.Config
+	// LabeledContextVector is one context-detection training observation.
+	LabeledContextVector = ctxdetect.LabeledVector
+)
+
+// ContextTrainingData converts window samples into context training
+// vectors (phone features labelled with coarse context).
+func ContextTrainingData(samples []WindowSample) []LabeledContextVector {
+	return ctxdetect.FromSamples(samples)
+}
+
+// TrainContextDetector fits the user-agnostic Random Forest context
+// detector on labelled vectors from users other than the one to be
+// authenticated.
+func TrainContextDetector(data []LabeledContextVector, cfg DetectorConfig) (*Detector, error) {
+	return ctxdetect.Train(data, cfg)
+}
+
+// Core: training, authentication, response, retraining.
+type (
+	// Mode selects devices (phone vs phone+watch) and context dispatch.
+	Mode = core.Mode
+	// TrainConfig parameterizes the training module.
+	TrainConfig = core.TrainConfig
+	// ModelBundle is the set of downloadable authentication models.
+	ModelBundle = core.ModelBundle
+	// Authenticator is the phone-side testing module.
+	Authenticator = core.Authenticator
+	// Decision is the outcome of authenticating one window.
+	Decision = core.Decision
+	// ResponseModule escalates rejected windows to deny/lock actions.
+	ResponseModule = core.ResponseModule
+	// ResponsePolicy tunes the response module.
+	ResponsePolicy = core.ResponsePolicy
+	// Action is the response module's verdict.
+	Action = core.Action
+	// RetrainMonitor triggers retraining on sustained low confidence.
+	RetrainMonitor = core.RetrainMonitor
+	// Enrollment tracks the enrollment phase's convergence.
+	Enrollment = core.Enrollment
+	// OnlineAuthenticator adapts to behavioural drift window by window
+	// using incremental learning and machine unlearning (Section V-I).
+	OnlineAuthenticator = core.OnlineAuthenticator
+	// OnlineConfig parameterizes the online authenticator.
+	OnlineConfig = core.OnlineConfig
+	// AuditLog is a tamper-evident, hash-chained record of decisions.
+	AuditLog = core.AuditLog
+	// AuditEntry is one sealed audit record.
+	AuditEntry = core.AuditEntry
+)
+
+// Response actions.
+const (
+	ActionAllow = core.ActionAllow
+	ActionDeny  = core.ActionDeny
+	ActionLock  = core.ActionLock
+)
+
+// Train fits the per-context (or unified) authentication models from the
+// owner's windows and the anonymized population's windows — the cloud
+// training module of Section IV-A3.
+func Train(legit, impostor []WindowSample, cfg TrainConfig) (*ModelBundle, error) {
+	return core.Train(legit, impostor, cfg)
+}
+
+// NewAuthenticator assembles the phone-side testing module.
+func NewAuthenticator(det *Detector, bundle *ModelBundle) (*Authenticator, error) {
+	return core.NewAuthenticator(det, bundle)
+}
+
+// TrainOnline initializes the continuously-adapting authenticator: each of
+// the owner's windows can be folded into the model in O(M^2) while the
+// oldest retained window is exactly unlearned — the fast alternative to
+// cloud retraining that Section V-I points at.
+func TrainOnline(det *Detector, legit, impostor []WindowSample, cfg OnlineConfig) (*OnlineAuthenticator, error) {
+	return core.TrainOnline(det, legit, impostor, cfg)
+}
+
+// NewResponseModule builds a response module with the given policy.
+func NewResponseModule(policy ResponsePolicy) *ResponseModule {
+	return core.NewResponseModule(policy)
+}
+
+// NewRetrainMonitor builds a retraining monitor with the paper's
+// threshold (epsilon_CS = 0.2).
+func NewRetrainMonitor() *RetrainMonitor {
+	return core.NewRetrainMonitor()
+}
+
+// NewEnrollment builds an enrollment tracker with the paper's defaults.
+func NewEnrollment() *Enrollment {
+	return core.NewEnrollment()
+}
+
+// NewAuditLog builds an empty tamper-evident decision log.
+func NewAuditLog() *AuditLog {
+	return core.NewAuditLog()
+}
+
+// VerifyAuditChain checks an exported audit log's hash chain, returning
+// the index of the first corrupted entry or -1 when intact.
+func VerifyAuditChain(entries []AuditEntry) int {
+	return core.VerifyAuditChain(entries)
+}
+
+// UnmarshalModelBundle decodes a bundle downloaded from the server.
+func UnmarshalModelBundle(data []byte) (*ModelBundle, error) {
+	return core.UnmarshalModelBundle(data)
+}
+
+// Transport: the cloud Authentication Server and the watch link.
+type (
+	// AuthServer is the cloud training service.
+	AuthServer = transport.Server
+	// AuthServerConfig configures the server.
+	AuthServerConfig = transport.ServerConfig
+	// AuthClient is the smartphone's view of the server.
+	AuthClient = transport.Client
+	// AuthClientConfig configures the client.
+	AuthClientConfig = transport.ClientConfig
+	// TrainParams are the client-side training knobs.
+	TrainParams = transport.TrainParams
+	// BluetoothLink simulates the lossy watch-to-phone channel.
+	BluetoothLink = transport.BluetoothLink
+)
+
+// NewAuthServer builds the cloud Authentication Server.
+func NewAuthServer(cfg AuthServerConfig) (*AuthServer, error) {
+	return transport.NewServer(cfg)
+}
+
+// NewAuthClient builds a client for the Authentication Server.
+func NewAuthClient(cfg AuthClientConfig) (*AuthClient, error) {
+	return transport.NewClient(cfg)
+}

@@ -1,0 +1,158 @@
+package smarteryou_test
+
+import (
+	"testing"
+
+	"smarteryou"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: population → collection → context detector → training
+// → authentication → response → online adaptation.
+func TestFacadeEndToEnd(t *testing.T) {
+	pop, err := smarteryou.NewPopulation(5, 99)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	owner := pop.Users[0]
+
+	ownerData, err := smarteryou.Collect(owner, smarteryou.CollectOptions{
+		WindowSeconds: 6, SessionSeconds: 90, Sessions: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	var impostorData []smarteryou.WindowSample
+	for i, u := range pop.Users[1:] {
+		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+			WindowSeconds: 6, SessionSeconds: 90, Sessions: 1, Seed: int64(10 + i),
+		})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		impostorData = append(impostorData, samples...)
+	}
+
+	det, err := smarteryou.TrainContextDetector(
+		smarteryou.ContextTrainingData(impostorData), smarteryou.DetectorConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainContextDetector: %v", err)
+	}
+	bundle, err := smarteryou.Train(ownerData, impostorData, smarteryou.TrainConfig{
+		Mode: smarteryou.Mode{Combined: true, UseContext: true},
+		Seed: 2,
+	})
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	auth, err := smarteryou.NewAuthenticator(det, bundle)
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	response := smarteryou.NewResponseModule(smarteryou.ResponsePolicy{})
+	monitor := smarteryou.NewRetrainMonitor()
+
+	accepted := 0
+	for _, s := range ownerData {
+		d, err := auth.Authenticate(s)
+		if err != nil {
+			t.Fatalf("Authenticate: %v", err)
+		}
+		if d.Accepted {
+			accepted++
+		}
+		if action := response.Observe(d); action == smarteryou.ActionLock {
+			t.Fatalf("owner locked out")
+		}
+		monitor.Observe(d)
+	}
+	if frac := float64(accepted) / float64(len(ownerData)); frac < 0.85 {
+		t.Errorf("owner accepted in %v of windows", frac)
+	}
+
+	// Model bundle round trip through the wire format.
+	blob, err := bundle.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if _, err := smarteryou.UnmarshalModelBundle(blob); err != nil {
+		t.Fatalf("UnmarshalModelBundle: %v", err)
+	}
+
+	// Online adaptation through the facade.
+	online, err := smarteryou.TrainOnline(det, ownerData, impostorData, smarteryou.OnlineConfig{
+		Mode: smarteryou.Mode{Combined: true, UseContext: true},
+	})
+	if err != nil {
+		t.Fatalf("TrainOnline: %v", err)
+	}
+	if err := online.Adapt(ownerData[0]); err != nil {
+		t.Fatalf("Adapt: %v", err)
+	}
+	if _, err := online.Authenticate(ownerData[0]); err != nil {
+		t.Fatalf("online Authenticate: %v", err)
+	}
+}
+
+// TestFacadeEnrollment exercises the enrollment convergence tracker.
+func TestFacadeEnrollment(t *testing.T) {
+	pop, err := smarteryou.NewPopulation(1, 5)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	samples, err := smarteryou.Collect(pop.Users[0], smarteryou.CollectOptions{
+		WindowSeconds: 6, SessionSeconds: 120, Sessions: 2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	e := smarteryou.NewEnrollment()
+	e.MaxSamples = 30
+	done := false
+	for _, s := range samples {
+		if e.Add(s) {
+			done = true
+			break
+		}
+	}
+	if !done {
+		t.Errorf("enrollment never completed")
+	}
+}
+
+// TestFacadeSensing exercises the signal-level API: sessions, devices,
+// downsampling, the Bluetooth link, and feature extraction.
+func TestFacadeSensing(t *testing.T) {
+	pop, err := smarteryou.NewPopulation(2, 6)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	stream, err := smarteryou.Session{
+		User:    pop.Users[0],
+		Context: smarteryou.ContextMovingUse,
+		Seconds: 12,
+		Seed:    3,
+	}.Generate(smarteryou.DeviceWatch)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if stream.Rate != smarteryou.SampleRate {
+		t.Errorf("rate = %v, want %v", stream.Rate, smarteryou.SampleRate)
+	}
+	lossy, err := smarteryou.BluetoothLink{DropRate: 0.05, Seed: 1}.Transmit(stream)
+	if err != nil {
+		t.Fatalf("Transmit: %v", err)
+	}
+	wins, err := smarteryou.ExtractWindows(lossy, 6)
+	if err != nil {
+		t.Fatalf("ExtractWindows: %v", err)
+	}
+	if len(wins) != 2 {
+		t.Errorf("got %d windows, want 2", len(wins))
+	}
+	// Mimic through the facade.
+	blended := smarteryou.Mimic(pop.Users[1].Params, pop.Users[0].Params, 0.9)
+	if blended == pop.Users[1].Params {
+		t.Errorf("mimicry should alter the attacker's parameters")
+	}
+}
