@@ -3,9 +3,16 @@
 // seeds an anonymized population, and then serves enrollment, model
 // training and model download over TCP.
 //
+// With -data-dir, the population store and the trained-model registry are
+// durable: every enrollment is written to a checksummed write-ahead log
+// before it is acknowledged, state is periodically compacted into an
+// atomically-replaced snapshot, and a restarted server recovers its full
+// population and model registry — no user re-enrolls. Without the flag the
+// server is in-memory, exactly as before.
+//
 // Usage:
 //
-//	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10]
+//	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10] [-data-dir /var/lib/smarteryou]
 package main
 
 import (
@@ -29,6 +36,7 @@ func run() int {
 		key       = flag.String("key", "", "pre-shared HMAC key (required)")
 		seedUsers = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
 		seed      = flag.Int64("seed", 1, "synthetic data seed")
+		dataDir   = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
 	)
 	flag.Parse()
 	if *key == "" {
@@ -38,6 +46,19 @@ func run() int {
 	if *seedUsers < 2 {
 		fmt.Fprintln(os.Stderr, "authserver: -seed-users must be at least 2")
 		return 2
+	}
+
+	var store *smarteryou.PopulationStore
+	if *dataDir != "" {
+		var err error
+		store, err = smarteryou.OpenStore(*dataDir, smarteryou.StoreOptions{})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		st := store.Stats()
+		log.Printf("durable store %s: recovered %d users, %d windows, %d model versions (replayed %d wal records, dropped %d torn bytes)",
+			*dataDir, st.Users, st.Windows, len(st.ModelVersions), st.Recovery.Replayed, st.Recovery.TruncatedBytes)
 	}
 
 	log.Printf("generating %d-user context-training corpus...", *seedUsers)
@@ -77,12 +98,20 @@ func run() int {
 		Key:      []byte(*key),
 		Detector: detector,
 		Logf:     log.Printf,
+		Store:    store,
 	})
 	if err != nil {
 		log.Print(err)
 		return 1
 	}
-	server.SeedPopulation(population)
+	// Seed the synthetic population only into a store that has none yet;
+	// a recovered store already holds (possibly real) enrollments, and
+	// reseeding would append duplicate windows on every restart.
+	if store == nil || store.Stats().Users == 0 {
+		server.SeedPopulation(population)
+	} else {
+		log.Printf("skipping synthetic seed: store already populated")
+	}
 	bound, err := server.Start(*addr)
 	if err != nil {
 		log.Print(err)
@@ -94,9 +123,19 @@ func run() int {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("shutting down")
+	code := 0
 	if err := server.Close(); err != nil {
 		log.Printf("close: %v", err)
-		return 1
+		code = 1
 	}
-	return 0
+	// The store outlives the server so in-flight requests can still
+	// append; flush and close it only once the listener has drained.
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("close store: %v", err)
+			code = 1
+		}
+		log.Printf("durable store flushed")
+	}
+	return code
 }

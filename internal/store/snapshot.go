@@ -1,0 +1,93 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smarteryou/internal/features"
+)
+
+// On-disk layout inside the store directory.
+const (
+	walFile      = "wal.log"
+	snapshotFile = "snapshot.json"
+	tmpSuffix    = ".tmp"
+)
+
+// snapshot is the compacted store state: everything the WAL contained up
+// to (and including) LastSeq. Replay applies only records with a higher
+// sequence number, so a crash between snapshot publication and WAL
+// truncation cannot double-apply mutations.
+type snapshot struct {
+	LastSeq uint64                             `json:"last_seq"`
+	Users   map[string][]features.WindowSample `json:"users"`
+	Models  map[string][]ModelVersion          `json:"models"`
+}
+
+// writeSnapshot atomically replaces the snapshot file: write to a
+// temporary file in the same directory, fsync it, then rename over the
+// final name. A crash at any point leaves either the old snapshot or the
+// new one — never a half-written file.
+func writeSnapshot(dir string, snap snapshot) error {
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapshotFile+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// loadSnapshot reads the current snapshot, reporting ok=false when none
+// exists yet. Stale temporaries from an interrupted compaction are removed.
+func loadSnapshot(dir string) (snap snapshot, mtime time.Time, ok bool, err error) {
+	_ = os.Remove(filepath.Join(dir, snapshotFile+tmpSuffix))
+	path := filepath.Join(dir, snapshotFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return snapshot{}, time.Time{}, false, nil
+	}
+	if err != nil {
+		return snapshot{}, time.Time{}, false, fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snapshot{}, time.Time{}, false, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if info, statErr := os.Stat(path); statErr == nil {
+		mtime = info.ModTime()
+	}
+	return snap, mtime, true, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable. Best
+// effort: some platforms reject directory syncs, and the rename itself is
+// already atomic.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

@@ -1,0 +1,441 @@
+// Package store is the Authentication Server's durable state (Section
+// IV-A3): the anonymized population windows and the per-user trained
+// models must survive a server restart, or every user would have to
+// re-enroll — a two-day recollection campaign in the paper's deployment.
+//
+// The design is a classic write-ahead log with snapshot compaction:
+//
+//   - every mutation (enroll, replace/retrain upload, model publication)
+//     is appended to an append-only, CRC32-checksummed log before it is
+//     applied in memory;
+//   - periodically the full in-memory state is written to a snapshot file
+//     (write-temp + atomic rename) and the log is reset;
+//   - on open, the snapshot is loaded and the log replayed on top of it.
+//     Records are sequence-numbered, so a crash between snapshot
+//     publication and log reset cannot double-apply mutations.
+//
+// Recovery tolerates a torn final record — the half-written tail of a
+// crashed append — by truncating the log at the last intact record and
+// continuing. Corruption is reported, never panicked on.
+//
+// The store also acts as the versioned model registry: each published
+// bundle gets the user's next monotonic version number and can be fetched
+// by version or as the latest, reusing the JSON model serialization of
+// internal/ml.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/features"
+)
+
+// Errors returned by the store API.
+var (
+	// ErrClosed indicates an operation on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrNoModel indicates the registry holds no model for the user (or
+	// not the requested version).
+	ErrNoModel = errors.New("store: no such model")
+)
+
+// Options tunes a store.
+type Options struct {
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appended records (default 256; negative disables automatic
+	// compaction — Snapshot can still be called explicitly).
+	SnapshotEvery int
+	// NoSync skips the fsync after each append. Throughput over
+	// durability: a crash may lose recent acknowledged writes, but the log
+	// stays recoverable. Intended for tests and bulk loads.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 256
+	}
+	return o
+}
+
+// ModelVersion is one registered model: a monotonic per-user version
+// number and the bundle's JSON encoding (the exact bytes the phone
+// downloads).
+type ModelVersion struct {
+	Version int             `json:"version"`
+	Bundle  json.RawMessage `json:"bundle"`
+}
+
+// Recovery describes what Open found in the log.
+type Recovery struct {
+	// Replayed counts log records applied on top of the snapshot.
+	Replayed int
+	// SkippedBySnapshot counts log records already contained in the
+	// snapshot (a crash interrupted the log reset after compaction).
+	SkippedBySnapshot int
+	// TruncatedBytes is how much torn/corrupt log tail was discarded.
+	TruncatedBytes int64
+}
+
+// Stats summarizes the store for monitoring.
+type Stats struct {
+	Users         int
+	Windows       int
+	WALBytes      int64
+	LastSeq       uint64
+	HasSnapshot   bool
+	SnapshotAge   time.Duration
+	ModelVersions map[string]int
+	Recovery      Recovery
+}
+
+// Store is the durable population store and model registry. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu            sync.Mutex
+	wal           *os.File
+	walBytes      int64
+	nextSeq       uint64
+	sinceSnapshot int
+	snapshotTime  time.Time
+	hasSnapshot   bool
+	users         map[string][]features.WindowSample
+	models        map[string][]ModelVersion
+	recovery      Recovery
+	closed        bool
+}
+
+// Open creates or recovers a store rooted at dir: it loads the snapshot
+// (if any), replays the WAL on top, truncates any torn tail, and leaves
+// the log open for appends.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create directory: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		opt:    opt.withDefaults(),
+		users:  make(map[string][]features.WindowSample),
+		models: make(map[string][]ModelVersion),
+	}
+
+	snap, mtime, ok, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	lastSeq := uint64(0)
+	if ok {
+		lastSeq = snap.LastSeq
+		s.hasSnapshot = true
+		s.snapshotTime = mtime
+		for id, samples := range snap.Users {
+			s.users[id] = samples
+		}
+		for id, versions := range snap.Models {
+			s.models[id] = versions
+		}
+	}
+
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	if err := s.replay(wal, lastSeq, &lastSeq); err != nil {
+		_ = wal.Close()
+		return nil, err
+	}
+	s.wal = wal
+	s.nextSeq = lastSeq + 1
+	return s, nil
+}
+
+// replay applies every intact record after snapSeq and truncates the log
+// at the first torn or corrupt record. A damaged record makes everything
+// after it untrustworthy (the framing is lost), so the suffix is
+// discarded; for a torn final write that suffix is exactly the
+// half-written record.
+func (s *Store) replay(wal *os.File, snapSeq uint64, lastSeq *uint64) error {
+	data, err := io.ReadAll(wal)
+	if err != nil {
+		return fmt.Errorf("store: read wal: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			s.recovery.TruncatedBytes = int64(len(data) - off)
+			if err := wal.Truncate(int64(off)); err != nil {
+				return fmt.Errorf("store: truncate torn wal tail: %w", err)
+			}
+			break
+		}
+		if rec.Seq > snapSeq {
+			s.apply(rec)
+			s.recovery.Replayed++
+			if rec.Seq > *lastSeq {
+				*lastSeq = rec.Seq
+			}
+		} else {
+			s.recovery.SkippedBySnapshot++
+		}
+		off += n
+	}
+	if _, err := wal.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("store: seek wal end: %w", err)
+	}
+	s.walBytes = int64(off)
+	return nil
+}
+
+// apply executes one logged mutation against the in-memory state.
+func (s *Store) apply(rec walRecord) {
+	switch rec.Op {
+	case opEnroll:
+		s.users[rec.User] = append(s.users[rec.User], rec.Samples...)
+	case opReplace:
+		s.users[rec.User] = append([]features.WindowSample(nil), rec.Samples...)
+	case opPublish:
+		s.models[rec.User] = append(s.models[rec.User], ModelVersion{Version: rec.Version, Bundle: rec.Bundle})
+	}
+}
+
+// append logs one record (WAL-first: the caller applies it in memory only
+// after this succeeds). A failed write rolls the file back to the last
+// record boundary so the in-process log never carries a torn prefix.
+func (s *Store) append(rec walRecord) error {
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(buf); err != nil {
+		_ = s.wal.Truncate(s.walBytes)
+		_, _ = s.wal.Seek(s.walBytes, io.SeekStart)
+		return fmt.Errorf("store: append wal record: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: sync wal: %w", err)
+		}
+	}
+	s.walBytes += int64(len(buf))
+	s.nextSeq++
+	s.sinceSnapshot++
+	return nil
+}
+
+// Enroll durably appends feature windows for a user; replace first
+// discards the user's stored windows (the retraining upload). The user
+// identifier should already be anonymized by the caller — the store
+// persists it verbatim.
+func (s *Store) Enroll(user string, samples []features.WindowSample, replace bool) error {
+	if user == "" {
+		return fmt.Errorf("store: enroll: empty user id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	op := opEnroll
+	if replace {
+		op = opReplace
+	}
+	if err := s.append(walRecord{Seq: s.nextSeq, Op: op, User: user, Samples: samples}); err != nil {
+		return err
+	}
+	s.apply(walRecord{Op: op, User: user, Samples: samples})
+	return s.maybeSnapshotLocked()
+}
+
+// PublishModel registers a trained bundle under the user's next version
+// number and returns that version.
+func (s *Store) PublishModel(user string, bundle *core.ModelBundle) (int, error) {
+	if user == "" {
+		return 0, fmt.Errorf("store: publish: empty user id")
+	}
+	blob, err := bundle.Marshal()
+	if err != nil {
+		return 0, fmt.Errorf("store: encode model bundle: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	version := 1
+	if vs := s.models[user]; len(vs) > 0 {
+		version = vs[len(vs)-1].Version + 1
+	}
+	rec := walRecord{Seq: s.nextSeq, Op: opPublish, User: user, Version: version, Bundle: blob}
+	if err := s.append(rec); err != nil {
+		return 0, err
+	}
+	s.apply(rec)
+	if err := s.maybeSnapshotLocked(); err != nil {
+		return 0, err
+	}
+	return version, nil
+}
+
+// LatestModel fetches the most recently published model for the user.
+func (s *Store) LatestModel(user string) (*core.ModelBundle, int, error) {
+	s.mu.Lock()
+	vs := s.models[user]
+	var mv ModelVersion
+	if len(vs) > 0 {
+		mv = vs[len(vs)-1]
+	}
+	s.mu.Unlock()
+	if mv.Version == 0 {
+		return nil, 0, fmt.Errorf("%w for user %q", ErrNoModel, user)
+	}
+	bundle, err := core.UnmarshalModelBundle(mv.Bundle)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bundle, mv.Version, nil
+}
+
+// ModelAt fetches a specific published version for the user.
+func (s *Store) ModelAt(user string, version int) (*core.ModelBundle, error) {
+	s.mu.Lock()
+	var blob json.RawMessage
+	for _, mv := range s.models[user] {
+		if mv.Version == version {
+			blob = mv.Bundle
+			break
+		}
+	}
+	s.mu.Unlock()
+	if blob == nil {
+		return nil, fmt.Errorf("%w: user %q version %d", ErrNoModel, user, version)
+	}
+	return core.UnmarshalModelBundle(blob)
+}
+
+// ModelVersions returns the latest published version per user.
+func (s *Store) ModelVersions() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.models))
+	for id, vs := range s.models {
+		if len(vs) > 0 {
+			out[id] = vs[len(vs)-1].Version
+		}
+	}
+	return out
+}
+
+// Population returns a copy of the recovered/current population windows,
+// keyed by the (anonymized) user identifiers they were enrolled under.
+func (s *Store) Population() map[string][]features.WindowSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]features.WindowSample, len(s.users))
+	for id, samples := range s.users {
+		out[id] = append([]features.WindowSample(nil), samples...)
+	}
+	return out
+}
+
+// Stats reports the store's size and persistence state.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Users:         len(s.users),
+		WALBytes:      s.walBytes,
+		LastSeq:       s.nextSeq - 1,
+		HasSnapshot:   s.hasSnapshot,
+		ModelVersions: make(map[string]int, len(s.models)),
+		Recovery:      s.recovery,
+	}
+	for _, samples := range s.users {
+		st.Windows += len(samples)
+	}
+	for id, vs := range s.models {
+		if len(vs) > 0 {
+			st.ModelVersions[id] = vs[len(vs)-1].Version
+		}
+	}
+	if s.hasSnapshot {
+		st.SnapshotAge = time.Since(s.snapshotTime)
+	}
+	return st
+}
+
+// Snapshot forces a compaction: the full state is written to the snapshot
+// file (atomically) and the WAL is reset.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+// maybeSnapshotLocked compacts when enough records accumulated.
+func (s *Store) maybeSnapshotLocked() error {
+	if s.opt.SnapshotEvery < 0 || s.sinceSnapshot < s.opt.SnapshotEvery {
+		return nil
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	snap := snapshot{
+		LastSeq: s.nextSeq - 1,
+		Users:   s.users,
+		Models:  s.models,
+	}
+	if err := writeSnapshot(s.dir, snap); err != nil {
+		return err
+	}
+	// The snapshot now contains every logged record (replay skips
+	// seq <= LastSeq), so the log can be reset in place. A crash before
+	// the truncate just replays a fully-skipped log.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: rewind wal: %w", err)
+	}
+	s.walBytes = 0
+	s.sinceSnapshot = 0
+	s.hasSnapshot = true
+	s.snapshotTime = time.Now()
+	return nil
+}
+
+// Close flushes and closes the log. Further mutations fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		_ = s.wal.Close()
+		return fmt.Errorf("store: sync wal on close: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("store: close wal: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"smarteryou/internal/features"
+)
+
+// WAL record framing: every mutation of the store is one record,
+//
+//	[4-byte payload length, big-endian]
+//	[4-byte CRC32 (IEEE) of the payload]
+//	[payload: JSON-encoded walRecord]
+//
+// The length prefix makes replay O(records) without scanning for
+// delimiters; the checksum detects torn writes and bit rot. JSON is used
+// for the payload because the store persists the same types the transport
+// protocol already serializes as JSON (feature windows, model bundles).
+
+// Operations recorded in the WAL.
+const (
+	// opEnroll appends feature windows to a user's population data.
+	opEnroll = "enroll"
+	// opReplace discards a user's stored windows and stores the uploaded
+	// ones — the retraining upload of Section V-I.
+	opReplace = "replace"
+	// opPublish registers a newly trained model bundle under the next
+	// version number for the user.
+	opPublish = "publish-model"
+)
+
+// recordHeaderSize is the fixed length+CRC prefix of every record.
+const recordHeaderSize = 8
+
+// MaxRecordBytes bounds a single WAL record. A corrupt length prefix must
+// not be mistaken for a multi-gigabyte record during replay.
+const MaxRecordBytes = 256 << 20
+
+// Errors returned by the WAL record decoder.
+var (
+	// ErrTruncatedRecord indicates the buffer ends before the record does —
+	// the torn final write of a crashed process.
+	ErrTruncatedRecord = errors.New("store: truncated wal record")
+	// ErrCorruptRecord indicates a record that is complete but invalid
+	// (checksum mismatch, implausible length, malformed payload).
+	ErrCorruptRecord = errors.New("store: corrupt wal record")
+)
+
+// walRecord is one logged mutation. Seq is globally monotonic across the
+// life of the store; snapshots remember the last sequence number they
+// contain so replay can skip records already compacted into the snapshot.
+type walRecord struct {
+	Seq     uint64                  `json:"seq"`
+	Op      string                  `json:"op"`
+	User    string                  `json:"user,omitempty"`
+	Samples []features.WindowSample `json:"samples,omitempty"`
+	Version int                     `json:"version,omitempty"`
+	Bundle  json.RawMessage         `json:"bundle,omitempty"`
+}
+
+// encodeRecord frames a record for appending to the WAL.
+func encodeRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode wal record: %w", err)
+	}
+	if len(payload) > MaxRecordBytes {
+		return nil, fmt.Errorf("store: wal record of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	return buf, nil
+}
+
+// decodeRecord decodes the first record in b, returning the record and the
+// number of bytes it occupied. ErrTruncatedRecord means b ends mid-record
+// (recoverable: truncate the log there); ErrCorruptRecord means the bytes
+// at the head of b are not a valid record. It never panics, whatever b
+// holds.
+func decodeRecord(b []byte) (walRecord, int, error) {
+	if len(b) < recordHeaderSize {
+		return walRecord{}, 0, ErrTruncatedRecord
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > MaxRecordBytes {
+		return walRecord{}, 0, fmt.Errorf("%w: implausible length %d", ErrCorruptRecord, n)
+	}
+	if len(b) < recordHeaderSize+int(n) {
+		return walRecord{}, 0, ErrTruncatedRecord
+	}
+	payload := b[recordHeaderSize : recordHeaderSize+int(n)]
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.BigEndian.Uint32(b[4:8]) {
+		return walRecord{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptRecord)
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return walRecord{}, 0, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	switch rec.Op {
+	case opEnroll, opReplace, opPublish:
+	default:
+		return walRecord{}, 0, fmt.Errorf("%w: unknown op %q", ErrCorruptRecord, rec.Op)
+	}
+	return rec, recordHeaderSize + int(n), nil
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestDecodeRecordEveryTruncationPoint(t *testing.T) {
+	full, err := encodeRecord(walRecord{Seq: 7, Op: opReplace, User: "u", Samples: fakeSamples("u", 2, 3)})
+	if err != nil {
+		t.Fatalf("encodeRecord: %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := decodeRecord(full[:cut]); !errors.Is(err, ErrTruncatedRecord) {
+			t.Fatalf("cut at %d/%d: err = %v, want ErrTruncatedRecord", cut, len(full), err)
+		}
+	}
+	rec, n, err := decodeRecord(full)
+	if err != nil {
+		t.Fatalf("full record: %v", err)
+	}
+	if n != len(full) || rec.Seq != 7 || rec.Op != opReplace {
+		t.Errorf("decoded (seq=%d op=%s n=%d), want (7 %s %d)", rec.Seq, rec.Op, n, opReplace, len(full))
+	}
+}
+
+func TestDecodeRecordEveryBitFlipIsCorrupt(t *testing.T) {
+	full, err := encodeRecord(walRecord{Seq: 1, Op: opEnroll, User: "u"})
+	if err != nil {
+		t.Fatalf("encodeRecord: %v", err)
+	}
+	for i := range full {
+		mutated := append([]byte(nil), full...)
+		mutated[i] ^= 0x01
+		_, _, err := decodeRecord(mutated)
+		if err == nil {
+			// Flipping a length byte can only be accepted if the frame
+			// still parses end-to-end with a matching CRC — impossible for
+			// a single bit flip: a shorter length mis-frames the CRC, a
+			// longer one truncates.
+			t.Errorf("bit flip at byte %d went undetected", i)
+			continue
+		}
+		if !errors.Is(err, ErrTruncatedRecord) && !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("bit flip at byte %d: unexpected error class %v", i, err)
+		}
+	}
+}
+
+func TestDecodeRecordRejectsImplausibleLength(t *testing.T) {
+	var b [recordHeaderSize]byte
+	binary.BigEndian.PutUint32(b[0:4], MaxRecordBytes+1)
+	if _, _, err := decodeRecord(b[:]); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("oversized length err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestDecodeRecordRejectsUnknownOp(t *testing.T) {
+	bad, err := encodeRecord(walRecord{Seq: 1, Op: "drop-table"})
+	if err != nil {
+		t.Fatalf("encodeRecord: %v", err)
+	}
+	if _, _, err := decodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("unknown op err = %v, want ErrCorruptRecord", err)
+	}
+}

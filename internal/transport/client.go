@@ -93,6 +93,13 @@ type TrainParams struct {
 // Train asks the server to train authentication models for the user and
 // returns the downloaded bundle.
 func (c *Client) Train(userID string, p TrainParams) (*core.ModelBundle, error) {
+	bundle, _, err := c.TrainVersioned(userID, p)
+	return bundle, err
+}
+
+// TrainVersioned is Train plus the registry version the server published
+// the new model under (0 when the server runs without durable storage).
+func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle, int, error) {
 	var resp trainResponse
 	err := c.roundTrip(TypeTrain, trainRequest{
 		UserID:      userID,
@@ -103,12 +110,28 @@ func (c *Client) Train(userID string, p TrainParams) (*core.ModelBundle, error) 
 		Seed:        p.Seed,
 	}, &resp)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if resp.Bundle == nil {
-		return nil, fmt.Errorf("transport: server returned no model bundle")
+		return nil, 0, fmt.Errorf("transport: server returned no model bundle")
 	}
-	return resp.Bundle, nil
+	return resp.Bundle, resp.Version, nil
+}
+
+// FetchModel downloads a previously trained bundle from the server's
+// model registry without retraining — how a phone re-acquires its model
+// after a reinstall, or rolls back to an earlier version. Version 0 asks
+// for the latest; the version actually served is returned.
+func (c *Client) FetchModel(userID string, version int) (*core.ModelBundle, int, error) {
+	var resp fetchModelResponse
+	err := c.roundTrip(TypeFetchModel, fetchModelRequest{UserID: userID, Version: version}, &resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Bundle == nil {
+		return nil, 0, fmt.Errorf("transport: server returned no model bundle")
+	}
+	return resp.Bundle, resp.Version, nil
 }
 
 // Stats fetches the server's population-store summary.
@@ -116,4 +139,12 @@ func (c *Client) Stats() (users, windows int, err error) {
 	var resp statsResponse
 	err = c.roundTrip(TypeStats, nil, &resp)
 	return resp.Users, resp.Windows, err
+}
+
+// FullStats fetches the server's population summary including its
+// persistence state (WAL size, snapshot age, model versions).
+func (c *Client) FullStats() (ServerStats, error) {
+	var resp statsResponse
+	err := c.roundTrip(TypeStats, nil, &resp)
+	return resp, err
 }

@@ -32,6 +32,10 @@ const (
 	// TypeTrain asks the server to train authentication models for a user
 	// and returns the model bundle.
 	TypeTrain = "train"
+	// TypeFetchModel downloads a previously trained model bundle from the
+	// server's versioned registry without retraining (requires the server
+	// to run with durable storage).
+	TypeFetchModel = "fetch-model"
 	// TypeStats asks the server for its population statistics.
 	TypeStats = "stats"
 	// TypeOK is a generic success response.

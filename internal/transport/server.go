@@ -11,6 +11,7 @@ import (
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
+	"smarteryou/internal/store"
 )
 
 // enrollRequest uploads feature windows for a user.
@@ -37,16 +38,46 @@ type trainRequest struct {
 	Seed        int64     `json:"seed,omitempty"`
 }
 
-// trainResponse carries the trained bundle.
+// trainResponse carries the trained bundle. Version is the model's
+// registry version when the server runs with durable storage (0 when the
+// server is in-memory only).
 type trainResponse struct {
-	Bundle *core.ModelBundle `json:"bundle"`
+	Bundle  *core.ModelBundle `json:"bundle"`
+	Version int               `json:"version,omitempty"`
 }
 
-// statsResponse reports the server's population store.
-type statsResponse struct {
+// fetchModelRequest downloads a previously published model from the
+// registry without retraining. Version 0 means latest.
+type fetchModelRequest struct {
+	UserID  string `json:"user_id"`
+	Version int    `json:"version,omitempty"`
+}
+
+// fetchModelResponse carries a registered model and its version.
+type fetchModelResponse struct {
+	Version int               `json:"version"`
+	Bundle  *core.ModelBundle `json:"bundle"`
+}
+
+// ServerStats reports the server's population store and, when the server
+// runs with durable storage, its persistence state.
+type ServerStats struct {
 	Users   int `json:"users"`
 	Windows int `json:"windows"`
+	// Persistent is true when the server is backed by a durable store.
+	Persistent bool `json:"persistent,omitempty"`
+	// WALBytes is the current size of the write-ahead log.
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// SnapshotAgeSeconds is the age of the last compaction snapshot
+	// (absent before the first compaction).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds,omitempty"`
+	// ModelVersions is the latest registered model version per
+	// (anonymized) user.
+	ModelVersions map[string]int `json:"model_versions,omitempty"`
 }
+
+// statsResponse is the stats reply payload.
+type statsResponse = ServerStats
 
 // Server is the cloud Authentication Server of Section IV-A3. It stores
 // anonymized population feature data, serves the user-agnostic context
@@ -55,6 +86,7 @@ type Server struct {
 	key      []byte
 	detector *ctxdetect.Detector
 	logf     func(format string, args ...any)
+	persist  *store.Store // nil: in-memory only
 
 	mu    sync.Mutex
 	store map[string][]features.WindowSample // anonymized user id -> windows
@@ -73,6 +105,14 @@ type ServerConfig struct {
 	Detector *ctxdetect.Detector
 	// Logf receives server logs; nil discards them.
 	Logf func(format string, args ...any)
+	// Store, when set, makes the population and trained models durable:
+	// the server replays the store's recovered state on construction,
+	// appends every enroll/replace to its write-ahead log before
+	// acknowledging, and publishes every trained bundle to its versioned
+	// model registry. Nil keeps today's in-memory behaviour. The caller
+	// retains ownership and must Close the store after Close-ing the
+	// server.
+	Store *store.Store
 }
 
 // NewServer builds a server (not yet listening).
@@ -87,13 +127,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		key:      cfg.Key,
 		detector: cfg.Detector,
 		logf:     logf,
+		persist:  cfg.Store,
 		store:    make(map[string][]features.WindowSample),
 		closed:   make(chan struct{}),
-	}, nil
+	}
+	if s.persist != nil {
+		// Replay the recovered population: the persisted identifiers are
+		// already the anonymized pseudonyms, so they load verbatim.
+		for anon, samples := range s.persist.Population() {
+			s.store[anon] = samples
+		}
+	}
+	return s, nil
 }
 
 // SeedPopulation preloads anonymized population windows (the data of
@@ -104,7 +153,14 @@ func (s *Server) SeedPopulation(byUser map[string][]features.WindowSample) {
 	defer s.mu.Unlock()
 	for id, samples := range byUser {
 		anon := anonymize(id)
-		s.store[anon] = append(s.store[anon], anonymizeSamples(anon, samples)...)
+		anonymized := anonymizeSamples(anon, samples)
+		if s.persist != nil {
+			if err := s.persist.Enroll(anon, anonymized, false); err != nil {
+				s.logf("persist seed for %s: %v", anon, err)
+				continue // keep memory and log consistent: skip both
+			}
+		}
+		s.store[anon] = append(s.store[anon], anonymized...)
 	}
 }
 
@@ -220,11 +276,20 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			return fail(fmt.Errorf("enroll: missing user id"))
 		}
 		anon := anonymize(req.UserID)
+		anonymized := anonymizeSamples(anon, req.Samples)
 		s.mu.Lock()
+		// WAL-first: the mutation is durable before it is applied or
+		// acknowledged, so an acknowledged enrollment survives a crash.
+		if s.persist != nil {
+			if err := s.persist.Enroll(anon, anonymized, req.Replace); err != nil {
+				s.mu.Unlock()
+				return fail(fmt.Errorf("enroll: persist: %w", err))
+			}
+		}
 		if req.Replace {
 			s.store[anon] = nil
 		}
-		s.store[anon] = append(s.store[anon], anonymizeSamples(anon, req.Samples)...)
+		s.store[anon] = append(s.store[anon], anonymized...)
 		stored := len(s.store[anon])
 		s.mu.Unlock()
 		return respond(TypeOK, enrollResponse{Stored: stored})
@@ -244,19 +309,62 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		if err != nil {
 			return fail(err)
 		}
-		return respond(TypeOK, trainResponse{Bundle: bundle})
+		version := 0
+		if s.persist != nil {
+			version, err = s.persist.PublishModel(anonymize(req.UserID), bundle)
+			if err != nil {
+				return fail(fmt.Errorf("train: publish model: %w", err))
+			}
+		}
+		return respond(TypeOK, trainResponse{Bundle: bundle, Version: version})
+
+	case TypeFetchModel:
+		var req fetchModelRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		if req.UserID == "" {
+			return fail(fmt.Errorf("fetch-model: missing user id"))
+		}
+		if s.persist == nil {
+			return fail(fmt.Errorf("fetch-model: server has no model registry (persistence disabled)"))
+		}
+		anon := anonymize(req.UserID)
+		var (
+			bundle  *core.ModelBundle
+			version = req.Version
+			err     error
+		)
+		if req.Version == 0 {
+			bundle, version, err = s.persist.LatestModel(anon)
+		} else {
+			bundle, err = s.persist.ModelAt(anon, req.Version)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return respond(TypeOK, fetchModelResponse{Version: version, Bundle: bundle})
 
 	case TypeStats:
 		if err := env.Open(s.key, nil); err != nil {
 			return fail(err)
 		}
 		s.mu.Lock()
-		users, windows := len(s.store), 0
+		resp := statsResponse{Users: len(s.store)}
 		for _, samples := range s.store {
-			windows += len(samples)
+			resp.Windows += len(samples)
 		}
 		s.mu.Unlock()
-		return respond(TypeOK, statsResponse{Users: users, Windows: windows})
+		if s.persist != nil {
+			st := s.persist.Stats()
+			resp.Persistent = true
+			resp.WALBytes = st.WALBytes
+			resp.ModelVersions = st.ModelVersions
+			if st.HasSnapshot {
+				resp.SnapshotAgeSeconds = st.SnapshotAge.Seconds()
+			}
+		}
+		return respond(TypeOK, resp)
 
 	default:
 		return fail(fmt.Errorf("unknown request type %q", env.Type))

@@ -9,6 +9,7 @@ import (
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
 	"smarteryou/internal/sensing"
+	"smarteryou/internal/store"
 )
 
 var testKey = []byte("test-pre-shared-key")
@@ -296,6 +297,202 @@ func TestClientValidation(t *testing.T) {
 	}
 	if _, err := NewServer(ServerConfig{Key: testKey}); err == nil {
 		t.Errorf("missing detector should error")
+	}
+}
+
+// startPersistentServer opens a store in dir and starts a server on it.
+func startPersistentServer(t *testing.T, det *ctxdetect.Detector, dir string) (*Server, *store.Store, string) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	srv, err := NewServer(ServerConfig{Key: testKey, Detector: det, Store: st})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return srv, st, addr.String()
+}
+
+func TestStatsReportPersistenceState(t *testing.T) {
+	det, byUser := buildFixture(t)
+
+	// Without a store, the new fields stay at their zero values.
+	_, plainAddr := startServer(t, det)
+	plainClient, err := NewClient(ClientConfig{Addr: plainAddr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	stats, err := plainClient.FullStats()
+	if err != nil {
+		t.Fatalf("FullStats: %v", err)
+	}
+	if stats.Persistent || stats.WALBytes != 0 || stats.ModelVersions != nil {
+		t.Errorf("in-memory server reports persistence: %+v", stats)
+	}
+
+	// With a store, stats reflect the WAL and the model registry.
+	srv, st, addr := startPersistentServer(t, det, t.TempDir())
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close server: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			t.Errorf("Close store: %v", err)
+		}
+	}()
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	for _, id := range []string{"user-00", "user-01"} {
+		if _, err := client.Enroll(id, byUser[id]); err != nil {
+			t.Fatalf("Enroll %s: %v", id, err)
+		}
+	}
+	if _, version, err := client.TrainVersioned("user-00", TrainParams{Seed: 1}); err != nil {
+		t.Fatalf("TrainVersioned: %v", err)
+	} else if version != 1 {
+		t.Errorf("first trained model has version %d, want 1", version)
+	}
+	stats, err = client.FullStats()
+	if err != nil {
+		t.Fatalf("FullStats: %v", err)
+	}
+	if !stats.Persistent {
+		t.Errorf("persistent server reports Persistent=false")
+	}
+	if stats.Users != 2 || stats.Windows == 0 {
+		t.Errorf("stats population = %d users / %d windows, want 2 users", stats.Users, stats.Windows)
+	}
+	if stats.WALBytes == 0 {
+		t.Errorf("stats report an empty WAL after two enrollments")
+	}
+	if len(stats.ModelVersions) != 1 {
+		t.Errorf("ModelVersions = %v, want one entry", stats.ModelVersions)
+	}
+	for anon, v := range stats.ModelVersions {
+		if v != 1 {
+			t.Errorf("model version = %d, want 1", v)
+		}
+		if anon == "user-00" {
+			t.Errorf("stats leak a real user id: %q", anon)
+		}
+	}
+}
+
+// TestServerPersistenceAcrossRestart is the headline recovery flow: a
+// server with a data directory is stopped and a fresh one reopens the same
+// directory — enrollment survives, training works without re-enrollment,
+// and the published model is downloadable by version.
+func TestServerPersistenceAcrossRestart(t *testing.T) {
+	det, byUser := buildFixture(t)
+	dir := t.TempDir()
+
+	// First server lifetime: enroll two users, then shut down.
+	srv1, st1, addr1 := startPersistentServer(t, det, dir)
+	client, err := NewClient(ClientConfig{Addr: addr1, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	for _, id := range []string{"user-00", "user-01"} {
+		if _, err := client.Enroll(id, byUser[id]); err != nil {
+			t.Fatalf("Enroll %s: %v", id, err)
+		}
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("Close server 1: %v", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatalf("Close store 1: %v", err)
+	}
+
+	// Second lifetime: no re-enrollment, straight to training.
+	srv2, st2, addr2 := startPersistentServer(t, det, dir)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("Close server 2: %v", err)
+		}
+		if err := st2.Close(); err != nil {
+			t.Errorf("Close store 2: %v", err)
+		}
+	}()
+	client2, err := NewClient(ClientConfig{Addr: addr2, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	users, windows, err := client2.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if users != 2 || windows == 0 {
+		t.Fatalf("recovered %d users / %d windows, want both users back", users, windows)
+	}
+	bundle, version, err := client2.TrainVersioned("user-00", TrainParams{
+		Mode: core.Mode{Combined: true}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatalf("Train after restart (no re-enrollment): %v", err)
+	}
+	if version != 1 {
+		t.Errorf("post-restart model version = %d, want 1", version)
+	}
+
+	// The published model is fetchable from the registry, both as latest
+	// and by its explicit version, and matches the trained bundle.
+	fetched, gotVersion, err := client2.FetchModel("user-00", 0)
+	if err != nil {
+		t.Fatalf("FetchModel latest: %v", err)
+	}
+	if gotVersion != version {
+		t.Errorf("latest version = %d, want %d", gotVersion, version)
+	}
+	want, _ := bundle.Marshal()
+	got, _ := fetched.Marshal()
+	if !bytes.Equal(want, got) {
+		t.Errorf("fetched model differs from the trained one")
+	}
+	if _, _, err := client2.FetchModel("user-00", version); err != nil {
+		t.Errorf("FetchModel by version: %v", err)
+	}
+	if _, _, err := client2.FetchModel("user-00", 99); err == nil {
+		t.Errorf("fetching a never-published version should fail")
+	}
+
+	// The fetched model must actually authenticate the user.
+	auth, err := core.NewAuthenticator(det, fetched)
+	if err != nil {
+		t.Fatalf("NewAuthenticator: %v", err)
+	}
+	accepted := 0
+	for _, s := range byUser["user-00"] {
+		d, err := auth.Authenticate(s)
+		if err != nil {
+			t.Fatalf("Authenticate: %v", err)
+		}
+		if d.Accepted {
+			accepted++
+		}
+	}
+	if frac := float64(accepted) / float64(len(byUser["user-00"])); frac < 0.8 {
+		t.Errorf("recovered model accepts only %v of the owner's windows", frac)
+	}
+}
+
+func TestFetchModelRequiresRegistry(t *testing.T) {
+	det, _ := buildFixture(t)
+	_, addr := startServer(t, det)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	var remote *RemoteError
+	if _, _, err := client.FetchModel("user-00", 0); !errors.As(err, &remote) {
+		t.Errorf("fetch-model on an in-memory server: err = %v, want RemoteError", err)
 	}
 }
 

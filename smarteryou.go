@@ -36,6 +36,7 @@ import (
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
 	"smarteryou/internal/sensing"
+	"smarteryou/internal/store"
 	"smarteryou/internal/transport"
 )
 
@@ -249,7 +250,31 @@ type (
 	TrainParams = transport.TrainParams
 	// BluetoothLink simulates the lossy watch-to-phone channel.
 	BluetoothLink = transport.BluetoothLink
+	// AuthServerStats is the server's population and persistence summary.
+	AuthServerStats = transport.ServerStats
 )
+
+// Durable storage: the server's crash-recoverable population store and
+// versioned model registry.
+type (
+	// PopulationStore is the WAL-backed store of anonymized population
+	// windows and published models. Pass one in AuthServerConfig.Store to
+	// make the Authentication Server durable across restarts.
+	PopulationStore = store.Store
+	// StoreOptions tunes the store (snapshot cadence, fsync policy).
+	StoreOptions = store.Options
+	// StoreStats summarizes the store's size and recovery state.
+	StoreStats = store.Stats
+)
+
+// OpenStore creates or recovers a durable population store rooted at dir:
+// it loads the latest snapshot, replays the write-ahead log on top
+// (truncating any torn tail from a crash), and is then ready for appends.
+// The caller owns the store and must Close it after closing any server
+// using it.
+func OpenStore(dir string, opt StoreOptions) (*PopulationStore, error) {
+	return store.Open(dir, opt)
+}
 
 // NewAuthServer builds the cloud Authentication Server.
 func NewAuthServer(cfg AuthServerConfig) (*AuthServer, error) {

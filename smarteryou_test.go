@@ -156,3 +156,98 @@ func TestFacadeSensing(t *testing.T) {
 		t.Errorf("mimicry should alter the attacker's parameters")
 	}
 }
+
+// TestFacadeDurableStore exercises the persistence API end to end through
+// the facade: open a store, collect and enroll through a durable server,
+// restart both, and train from the recovered population alone.
+func TestFacadeDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	pop, err := smarteryou.NewPopulation(3, 41)
+	if err != nil {
+		t.Fatalf("NewPopulation: %v", err)
+	}
+	byUser := make(map[string][]smarteryou.WindowSample)
+	var ctxTrain []smarteryou.WindowSample
+	for i, u := range pop.Users {
+		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+			WindowSeconds: 6, SessionSeconds: 60, Sessions: 1, Seed: int64(20 + i),
+		})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		byUser[u.ID] = samples
+		ctxTrain = append(ctxTrain, samples...)
+	}
+	det, err := smarteryou.TrainContextDetector(
+		smarteryou.ContextTrainingData(ctxTrain), smarteryou.DetectorConfig{Seed: 1, Trees: 10})
+	if err != nil {
+		t.Fatalf("TrainContextDetector: %v", err)
+	}
+
+	key := []byte("facade-store-key")
+	runServer := func(seed map[string][]smarteryou.WindowSample) (*smarteryou.AuthServer, *smarteryou.PopulationStore, string) {
+		store, err := smarteryou.OpenStore(dir, smarteryou.StoreOptions{})
+		if err != nil {
+			t.Fatalf("OpenStore: %v", err)
+		}
+		server, err := smarteryou.NewAuthServer(smarteryou.AuthServerConfig{
+			Key: key, Detector: det, Store: store,
+		})
+		if err != nil {
+			t.Fatalf("NewAuthServer: %v", err)
+		}
+		if seed != nil {
+			server.SeedPopulation(seed)
+		}
+		addr, err := server.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+		return server, store, addr.String()
+	}
+
+	// First lifetime: seed everyone, then stop.
+	server, store, _ := runServer(byUser)
+	if err := server.Close(); err != nil {
+		t.Fatalf("Close server: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close store: %v", err)
+	}
+
+	// Second lifetime: recover, train without any enrollment traffic.
+	server, store, addr := runServer(nil)
+	defer func() {
+		if err := server.Close(); err != nil {
+			t.Errorf("Close server: %v", err)
+		}
+		if err := store.Close(); err != nil {
+			t.Errorf("Close store: %v", err)
+		}
+	}()
+	if got := store.Stats().Users; got != 3 {
+		t.Fatalf("recovered %d users, want 3", got)
+	}
+	client, err := smarteryou.NewAuthClient(smarteryou.AuthClientConfig{Addr: addr, Key: key})
+	if err != nil {
+		t.Fatalf("NewAuthClient: %v", err)
+	}
+	owner := pop.Users[0].ID
+	bundle, version, err := client.TrainVersioned(owner, smarteryou.TrainParams{Seed: 5})
+	if err != nil {
+		t.Fatalf("TrainVersioned from recovered population: %v", err)
+	}
+	if version != 1 || bundle == nil {
+		t.Errorf("trained (bundle=%v, version=%d), want a v1 bundle", bundle != nil, version)
+	}
+	if _, fetchedVersion, err := client.FetchModel(owner, 0); err != nil || fetchedVersion != 1 {
+		t.Errorf("FetchModel = (v%d, %v), want v1", fetchedVersion, err)
+	}
+	stats, err := client.FullStats()
+	if err != nil {
+		t.Fatalf("FullStats: %v", err)
+	}
+	if !stats.Persistent || stats.WALBytes == 0 {
+		t.Errorf("stats = %+v, want persistence reported", stats)
+	}
+}
