@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz
+.PHONY: check build vet fmt test race fuzz bench
 
 check: build vet fmt race
 
@@ -26,9 +26,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over every fuzz target (wire protocol + WAL decoder).
+# Short fuzz pass over every fuzz target (wire protocol + WAL decoder +
+# binary codec).
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/store/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeBinaryPayload -fuzztime=10s ./internal/store/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeBinarySnapshot -fuzztime=10s ./internal/store/
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenWAL -fuzztime=10s ./internal/store/
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeOpen -fuzztime=10s ./internal/transport/
+
+# Smoke-run the store benchmarks under the race detector: one iteration
+# each, so the hot-path assertions (recovered counts, parallel enroll)
+# execute with full instrumentation without turning CI into a perf run.
+# Baseline numbers live in BENCH_store.json (recorded with -benchtime
+# high enough to be stable; see the file's "how" field).
+bench:
+	$(GO) test -race -run=xxx -bench='BenchmarkStore|BinaryRecord' -benchtime=1x ./internal/store/ .

@@ -6,8 +6,10 @@
 package smarteryou_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"smarteryou/internal/attack"
@@ -19,6 +21,7 @@ import (
 	"smarteryou/internal/ml"
 	"smarteryou/internal/sensing"
 	"smarteryou/internal/stats"
+	"smarteryou/internal/store"
 )
 
 var (
@@ -512,6 +515,119 @@ func BenchmarkModelBundleSerialization(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Durable-store benches: the server's enroll hot path. ---
+
+// storeBenchWindows builds n windows of realistic shape (full-precision
+// floats in every sensor slot) without running the sensing pipeline.
+func storeBenchWindows(user string, n int) []features.WindowSample {
+	out := make([]features.WindowSample, n)
+	for i := range out {
+		v := float64(i)*0.618033988749895 + 0.123456789
+		sf := features.SensorFeatures{
+			Mean: v, Var: v + 1, Max: v + 2, Min: v - 2, Ran: 4,
+			Peak: v * 3, PeakF: 1.5, Peak2: v / 2, Peak2F: 3.25,
+		}
+		df := features.DeviceFeatures{Acc: sf, Gyr: sf}
+		out[i] = features.WindowSample{
+			UserID: user, Context: sensing.ContextMovingUse,
+			Day: float64(i % 7), Phone: df, Watch: df,
+		}
+	}
+	return out
+}
+
+// BenchmarkStoreEnroll is one sequential enroll (16 windows, fsync on the
+// acknowledgement path) against a single-shard and an 8-shard store.
+// Sequential writers see the same latency either way — sharding pays off
+// under concurrency, not here.
+func BenchmarkStoreEnroll(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := store.Open(b.TempDir(), store.Options{Shards: shards, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			win := storeBenchWindows("bench", 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Enroll(fmt.Sprintf("user-%04d", i%64), win, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if st := s.Stats(); st.Windows > 0 {
+				b.ReportMetric(float64(st.WALBytes)/float64(st.Windows), "bytes/window")
+			}
+		})
+	}
+}
+
+// BenchmarkStoreEnrollParallel is the acceptance benchmark for sharding:
+// 8 goroutines enrolling distinct users concurrently. On one shard every
+// writer queues behind the same mutex and fsync; with 8 shards the user
+// hash spreads writers across independent WALs so their fsyncs overlap.
+func BenchmarkStoreEnrollParallel(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			s, err := store.Open(b.TempDir(), store.Options{Shards: shards, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			win := storeBenchWindows("bench", 16)
+			var nextWriter atomic.Int64
+			b.SetParallelism(8) // 8 concurrent writers regardless of GOMAXPROCS
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				user := fmt.Sprintf("user-%04d", nextWriter.Add(1))
+				for pb.Next() {
+					if err := s.Enroll(user, win, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreRecovery replays a 10 000-window population (binary WAL,
+// no snapshot) — the restart cost a crashed server pays before serving.
+// The JSON-baseline comparison lives in internal/store
+// (BenchmarkStoreRecoveryCodec), where the legacy framing can be planted.
+func BenchmarkStoreRecovery(b *testing.B) {
+	dir := b.TempDir()
+	s, err := store.Open(dir, store.Options{SnapshotEvery: -1, NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	win := storeBenchWindows("bench", 16)
+	for i := 0; i < 625; i++ { // 10 000 windows
+		if err := s.Enroll(fmt.Sprintf("user-%03d", i%32), win, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	walBytes := s.Stats().WALBytes
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := store.Open(dir, store.Options{SnapshotEvery: -1, NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := s.Stats(); st.Windows != 10000 {
+			b.Fatalf("recovered %d windows, want 10000", st.Windows)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(walBytes)/10000, "bytes/window")
 }
 
 // Machine-unlearning benches: the O(M^2) online update of Section V-I's

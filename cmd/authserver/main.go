@@ -5,14 +5,18 @@
 //
 // With -data-dir, the population store and the trained-model registry are
 // durable: every enrollment is written to a checksummed write-ahead log
-// before it is acknowledged, state is periodically compacted into an
-// atomically-replaced snapshot, and a restarted server recovers its full
-// population and model registry — no user re-enrolls. Without the flag the
+// before it is acknowledged, state is periodically compacted (in the
+// background, off the enroll path) into atomically-replaced snapshots,
+// and a restarted server recovers its full population and model registry
+// — no user re-enrolls. -shards partitions the store by user hash into
+// independent WAL+snapshot shards so enroll throughput scales with cores;
+// -keep-models bounds each user's registry history. Without -data-dir the
 // server is in-memory, exactly as before.
 //
 // Usage:
 //
-//	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10] [-data-dir /var/lib/smarteryou]
+//	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10] \
+//	    [-data-dir /var/lib/smarteryou] [-shards 8] [-keep-models 16]
 package main
 
 import (
@@ -32,11 +36,13 @@ func main() {
 
 func run() int {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7600", "listen address")
-		key       = flag.String("key", "", "pre-shared HMAC key (required)")
-		seedUsers = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
-		seed      = flag.Int64("seed", 1, "synthetic data seed")
-		dataDir   = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
+		addr       = flag.String("addr", "127.0.0.1:7600", "listen address")
+		key        = flag.String("key", "", "pre-shared HMAC key (required)")
+		seedUsers  = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
+		seed       = flag.Int64("seed", 1, "synthetic data seed")
+		dataDir    = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
+		shards     = flag.Int("shards", 1, "independent WAL+snapshot shards in the durable store (fixed at store creation; reopening uses the on-disk count)")
+		keepModels = flag.Int("keep-models", 0, "model versions retained per user in the registry (0: unbounded)")
 	)
 	flag.Parse()
 	if *key == "" {
@@ -51,14 +57,17 @@ func run() int {
 	var store *smarteryou.PopulationStore
 	if *dataDir != "" {
 		var err error
-		store, err = smarteryou.OpenStore(*dataDir, smarteryou.StoreOptions{})
+		store, err = smarteryou.OpenStore(*dataDir, smarteryou.StoreOptions{
+			Shards:            *shards,
+			KeepModelVersions: *keepModels,
+		})
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
 		st := store.Stats()
-		log.Printf("durable store %s: recovered %d users, %d windows, %d model versions (replayed %d wal records, dropped %d torn bytes)",
-			*dataDir, st.Users, st.Windows, len(st.ModelVersions), st.Recovery.Replayed, st.Recovery.TruncatedBytes)
+		log.Printf("durable store %s: %d shards, recovered %d users, %d windows, %d model versions (replayed %d wal records, dropped %d torn bytes)",
+			*dataDir, len(st.Shards), st.Users, st.Windows, len(st.ModelVersions), st.Recovery.Replayed, st.Recovery.TruncatedBytes)
 	}
 
 	log.Printf("generating %d-user context-training corpus...", *seedUsers)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"smarteryou/internal/features"
 	"smarteryou/internal/ml"
@@ -77,15 +78,43 @@ func Train(legit, impostor []features.WindowSample, cfg TrainConfig) (*ModelBund
 		groups = append(groups, group{key: unifiedKey, legit: legit, impostor: impostor})
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, g := range groups {
-		model, err := trainOne(g.legit, g.impostor, cfg, rng)
-		if err != nil {
-			return nil, fmt.Errorf("core: train %s model: %w", g.key, err)
+	// The per-context models are independent given their data split, so
+	// train them concurrently — on context mode this halves wall-clock
+	// (the paper's stationary/moving pair). Each group gets its own RNG
+	// derived from cfg.Seed and the group index, which keeps results
+	// deterministic regardless of goroutine scheduling; group 0 seeds
+	// with cfg.Seed itself, so single-group (unified) training subsamples
+	// exactly as the sequential implementation did.
+	models := make([]*ContextModel, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g group) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(groupSeed(cfg.Seed, i)))
+			models[i], errs[i] = trainOne(g.legit, g.impostor, cfg, rng)
+		}(i, g)
+	}
+	wg.Wait()
+	for i, g := range groups {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: train %s model: %w", g.key, errs[i])
 		}
-		bundle.Models[g.key] = model
+		bundle.Models[g.key] = models[i]
 	}
 	return bundle, nil
+}
+
+// groupSeed derives a deterministic per-group RNG seed. Group 0 uses the
+// configured seed unchanged (preserving unified-mode results bit-for-bit
+// with the sequential trainer); later groups mix in the index with a
+// splitmix64-style odd constant so nearby seeds do not collide.
+func groupSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	return seed + int64(i)*-0x61c8864680b583eb // 2^64 / golden ratio, as int64
 }
 
 // trainOne fits one context's standardizer + KRR classifier.
@@ -121,9 +150,18 @@ func trainOne(legit, impostor []features.WindowSample, cfg TrainConfig, rng *ran
 }
 
 // operatingThreshold scores the training set and delegates to
-// OperatingThreshold.
+// OperatingThreshold. The score slices are sized exactly up front (class
+// sizes are known from y), avoiding the append-growth churn that showed
+// up on the training profile for large N.
 func operatingThreshold(krr *ml.KRR, x [][]float64, y []bool, targetFRR float64) (float64, error) {
-	var legit, impostor []float64
+	nLegit := 0
+	for _, isLegit := range y {
+		if isLegit {
+			nLegit++
+		}
+	}
+	legit := make([]float64, 0, nLegit)
+	impostor := make([]float64, 0, len(y)-nLegit)
 	for i, row := range x {
 		s, err := krr.Score(row)
 		if err != nil {
@@ -135,7 +173,7 @@ func operatingThreshold(krr *ml.KRR, x [][]float64, y []bool, targetFRR float64)
 			impostor = append(impostor, s)
 		}
 	}
-	return OperatingThreshold(legit, impostor, targetFRR), nil
+	return operatingThresholdSorted(legit, impostor, targetFRR), nil
 }
 
 // OperatingThreshold places the decision threshold midway between the
@@ -150,8 +188,18 @@ func operatingThreshold(krr *ml.KRR, x [][]float64, y []bool, targetFRR float64)
 // rule to every classifier it compares (Table VI), keeping the comparison
 // fair.
 func OperatingThreshold(legitScores, impostorScores []float64, targetFRR float64) float64 {
-	legit := append([]float64(nil), legitScores...)
-	impostor := append([]float64(nil), impostorScores...)
+	// Exact-size copies (the caller's slices must not be reordered), then
+	// sort in place — no append growth, no re-copying.
+	legit := make([]float64, len(legitScores))
+	copy(legit, legitScores)
+	impostor := make([]float64, len(impostorScores))
+	copy(impostor, impostorScores)
+	return operatingThresholdSorted(legit, impostor, targetFRR)
+}
+
+// operatingThresholdSorted is OperatingThreshold for score slices the
+// caller owns: it sorts them in place and allocates nothing.
+func operatingThresholdSorted(legit, impostor []float64, targetFRR float64) float64 {
 	sort.Float64s(legit)
 	sort.Float64s(impostor)
 	p := clampFloat(targetFRR, 0, 1) * 100

@@ -7,7 +7,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+
+	"smarteryou/internal/features"
 )
 
 // FuzzDecodeRecord throws arbitrary bytes at the WAL record decoder: it
@@ -56,6 +59,84 @@ func FuzzDecodeRecord(f *testing.F) {
 		}
 		if rec2.Seq != rec.Seq || rec2.Op != rec.Op || rec2.User != rec.User {
 			t.Fatalf("round trip changed record identity: %+v vs %+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzDecodeBinaryPayload throws arbitrary bytes at the binary record
+// decoder (codec.go): it must return a record or an error — never panic,
+// and never allocate more than the buffer justifies (a corrupt sample
+// count must not translate into a huge slice).
+func FuzzDecodeBinaryPayload(f *testing.F) {
+	for _, rec := range []walRecord{
+		{Seq: 1, Op: opEnroll, User: "u", Samples: fakeSamples("u", 2, 1)},
+		{Seq: 2, Op: opReplace, User: "u"},
+		{Seq: 3, Op: opPublish, User: "m", Version: 7, Bundle: []byte(`{"a":1}`)},
+	} {
+		payload, err := encodeBinaryPayload(rec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+		f.Add(payload[:len(payload)/2])
+	}
+	f.Add([]byte{binFormatV1})
+	f.Add([]byte{binFormatV1, binOpEnroll, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeBinaryPayload(data)
+		if err != nil {
+			return
+		}
+		// A payload that decodes must survive a re-encode/decode round
+		// trip unchanged. (Byte-level canonicality does not hold: the
+		// varint reader accepts non-minimal encodings.)
+		again, err := encodeBinaryPayload(rec)
+		if err != nil {
+			t.Fatalf("re-encode decoded record: %v", err)
+		}
+		rec2, err := decodeBinaryPayload(again)
+		if err != nil {
+			t.Fatalf("decode re-encoded record: %v", err)
+		}
+		if !reflect.DeepEqual(rec, rec2) {
+			t.Fatalf("round trip changed record:\n in  %+v\n out %+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzDecodeBinarySnapshot throws arbitrary bytes at the binary snapshot
+// decoder: errors are fine, panics and runaway allocations are not.
+func FuzzDecodeBinarySnapshot(f *testing.F) {
+	snap := snapshot{
+		LastSeq: 42,
+		Users: map[string][]features.WindowSample{
+			"a": fakeSamples("a", 2, 1),
+			"b": fakeSamples("b", 1, 2),
+		},
+		Models: map[string][]ModelVersion{
+			"a": {{Version: 1, Bundle: []byte(`{"m":1}`)}},
+		},
+	}
+	valid := encodeBinarySnapshot(snap)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte("{}"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := decodeBinarySnapshot(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode/decode to the same state.
+		again, err := decodeBinarySnapshot(encodeBinarySnapshot(got))
+		if err != nil {
+			t.Fatalf("re-decode re-encoded snapshot: %v", err)
+		}
+		if again.LastSeq != got.LastSeq || len(again.Users) != len(got.Users) || len(again.Models) != len(got.Models) {
+			t.Fatalf("snapshot round trip changed shape: %+v vs %+v", got, again)
 		}
 	})
 }

@@ -1,0 +1,500 @@
+// Shard: one independent WAL + snapshot + mutex + sequence space. The
+// Store partitions users across shards by hash (store.go), so enrolls for
+// different shards never contend on a lock or an fsync, and enroll
+// throughput scales with shards up to the core/disk budget.
+//
+// Compaction is off the request path. When a shard crosses its
+// SnapshotEvery threshold, the enroll that crossed it only *seals* the
+// active WAL segment (an O(1) rename) and hands a copy-on-write view of
+// the in-memory state to the shard's compaction worker; the worker writes
+// the snapshot and deletes the sealed segments it covers while enrolls
+// keep appending to a fresh segment. The COW view is a shallow copy of
+// the user/model maps: mutations only ever append beyond a captured
+// slice's length or replace map entries in the live map, so the captured
+// view stays frozen without copying any window data.
+//
+// Crash safety: a sealed segment is just the old WAL file under a new
+// name, so until the worker's snapshot lands, every record is still on
+// disk — a crash mid-compaction replays snapshot + sealed segments +
+// active segment, in order, and loses nothing. Segment deletion happens
+// only after the covering snapshot has been atomically published.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"smarteryou/internal/features"
+)
+
+// compactionTestHook, when set before Open, is invoked by every
+// compaction worker after it has dequeued a job and before it writes the
+// snapshot. Tests use it to hold a compaction in flight (proving enrolls
+// do not block on it) and to photograph the mid-compaction disk state.
+var compactionTestHook func()
+
+// compactJob is one queued background compaction: a frozen view of the
+// shard state plus the sealed segments the resulting snapshot supersedes.
+type compactJob struct {
+	lastSeq uint64
+	users   map[string][]features.WindowSample
+	models  map[string][]ModelVersion
+	sealed  []string
+}
+
+// shard is one partition of the store. All fields after mu are guarded by
+// it; the compaction worker only touches shared state under mu.
+type shard struct {
+	dir string
+	opt Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // pending/compacting/closing transitions
+
+	wal         *os.File // active segment (walFile)
+	walBytes    int64    // bytes in the active segment
+	sealedBytes int64    // bytes across sealed, not-yet-compacted segments
+	sealCounter uint64   // next sealed segment index
+
+	nextSeq       uint64
+	sinceSnapshot int
+	snapshotTime  time.Time
+	hasSnapshot   bool
+	users         map[string][]features.WindowSample
+	models        map[string][]ModelVersion
+	recovery      Recovery
+	closed        bool
+	closing       bool
+
+	pending      *compactJob // coalesced queue of depth one
+	orphanSealed []string    // sealed segments awaiting the next snapshot
+	compacting   bool
+	compactErr   error
+	workerDone   chan struct{}
+}
+
+// openShard recovers one shard directory: snapshot, then sealed segments
+// in order, then the active WAL, truncating at the first damage. It
+// starts the shard's compaction worker.
+func openShard(dir string, opt Options) (*shard, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create shard directory: %w", err)
+	}
+	s := &shard{
+		dir:        dir,
+		opt:        opt,
+		users:      make(map[string][]features.WindowSample),
+		models:     make(map[string][]ModelVersion),
+		workerDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	snap, mtime, ok, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	lastSeq := uint64(0)
+	if ok {
+		lastSeq = snap.LastSeq
+		s.hasSnapshot = true
+		s.snapshotTime = mtime
+		for id, samples := range snap.Users {
+			s.users[id] = samples
+		}
+		for id, versions := range snap.Models {
+			s.models[id] = s.trimVersions(versions)
+		}
+	}
+
+	if err := s.replay(lastSeq, &lastSeq); err != nil {
+		return nil, err
+	}
+	s.nextSeq = lastSeq + 1
+	go s.worker()
+	return s, nil
+}
+
+// sealedSegments lists the shard's sealed WAL segments in replay order
+// and returns the next free segment counter.
+func sealedSegments(dir string) (paths []string, next uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: list shard directory: %w", err)
+	}
+	for _, e := range entries {
+		var n uint64
+		if _, err := fmt.Sscanf(e.Name(), "wal-%d.sealed", &n); err == nil {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+			if n+1 > next {
+				next = n + 1
+			}
+		}
+	}
+	sort.Strings(paths) // zero-padded counters: lexical order = replay order
+	return paths, next, nil
+}
+
+// replay applies every intact record with seq > snapSeq from the sealed
+// segments and the active WAL, in order. The first torn or corrupt record
+// makes everything after it untrustworthy — the rest of that file and all
+// later segments are discarded (counted in recovery.TruncatedBytes), the
+// damaged file is truncated at the damage, and later sealed segments are
+// removed.
+func (s *shard) replay(snapSeq uint64, lastSeq *uint64) error {
+	sealed, next, err := sealedSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	s.sealCounter = next
+
+	damaged := false
+	for _, path := range sealed {
+		if damaged {
+			if info, err := os.Stat(path); err == nil {
+				s.recovery.TruncatedBytes += info.Size()
+			}
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("store: drop post-damage segment: %w", err)
+			}
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: read sealed segment: %w", err)
+		}
+		keep := s.replayBuf(data, snapSeq, lastSeq)
+		if keep < len(data) {
+			damaged = true
+			if err := os.Truncate(path, int64(keep)); err != nil {
+				return fmt.Errorf("store: truncate damaged segment: %w", err)
+			}
+		}
+		if keep == 0 {
+			_ = os.Remove(path)
+		} else {
+			s.sealedBytes += int64(keep)
+			s.orphanSealed = append(s.orphanSealed, path)
+		}
+	}
+
+	wal, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open wal: %w", err)
+	}
+	data, err := io.ReadAll(wal)
+	if err != nil {
+		_ = wal.Close()
+		return fmt.Errorf("store: read wal: %w", err)
+	}
+	keep := len(data)
+	if damaged {
+		s.recovery.TruncatedBytes += int64(len(data))
+		keep = 0
+	} else {
+		keep = s.replayBuf(data, snapSeq, lastSeq)
+	}
+	if keep < len(data) {
+		if err := wal.Truncate(int64(keep)); err != nil {
+			_ = wal.Close()
+			return fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := wal.Seek(int64(keep), io.SeekStart); err != nil {
+		_ = wal.Close()
+		return fmt.Errorf("store: seek wal end: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = int64(keep)
+	return nil
+}
+
+// replayBuf applies intact records from one segment buffer and returns
+// how many prefix bytes were intact; anything damaged past that is
+// accounted to recovery.TruncatedBytes by the caller via the shortfall.
+func (s *shard) replayBuf(data []byte, snapSeq uint64, lastSeq *uint64) int {
+	off := 0
+	for off < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			s.recovery.TruncatedBytes += int64(len(data) - off)
+			return off
+		}
+		if rec.Seq > snapSeq {
+			s.apply(rec)
+			s.recovery.Replayed++
+			if rec.Seq > *lastSeq {
+				*lastSeq = rec.Seq
+			}
+		} else {
+			s.recovery.SkippedBySnapshot++
+		}
+		off += n
+	}
+	return off
+}
+
+// apply executes one logged mutation against the in-memory state. For
+// model publication, the keep-last-K retention policy is enforced here,
+// so it covers live publishes and replayed history alike.
+func (s *shard) apply(rec walRecord) {
+	switch rec.Op {
+	case opEnroll:
+		s.users[rec.User] = append(s.users[rec.User], rec.Samples...)
+	case opReplace:
+		s.users[rec.User] = append([]features.WindowSample(nil), rec.Samples...)
+	case opPublish:
+		s.models[rec.User] = s.trimVersions(append(s.models[rec.User], ModelVersion{Version: rec.Version, Bundle: rec.Bundle}))
+	}
+}
+
+// trimVersions applies Options.KeepModelVersions to one user's history.
+// The kept suffix is copied so the dropped versions' bundles become
+// collectable instead of pinned by the shared backing array.
+func (s *shard) trimVersions(vs []ModelVersion) []ModelVersion {
+	k := s.opt.KeepModelVersions
+	if k <= 0 || len(vs) <= k {
+		return vs
+	}
+	return append([]ModelVersion(nil), vs[len(vs)-k:]...)
+}
+
+// append logs one record (WAL-first: the caller applies it in memory only
+// after this succeeds). A failed write rolls the file back to the last
+// record boundary so the in-process log never carries a torn prefix.
+func (s *shard) append(rec walRecord) error {
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Write(buf); err != nil {
+		_ = s.wal.Truncate(s.walBytes)
+		_, _ = s.wal.Seek(s.walBytes, io.SeekStart)
+		return fmt.Errorf("store: append wal record: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: sync wal: %w", err)
+		}
+	}
+	s.walBytes += int64(len(buf))
+	s.nextSeq++
+	s.sinceSnapshot++
+	return nil
+}
+
+func (s *shard) enroll(user string, samples []features.WindowSample, replace bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	op := opEnroll
+	if replace {
+		op = opReplace
+	}
+	if err := s.append(walRecord{Seq: s.nextSeq, Op: op, User: user, Samples: samples}); err != nil {
+		return err
+	}
+	s.apply(walRecord{Op: op, User: user, Samples: samples})
+	s.maybeCompactLocked()
+	return nil
+}
+
+func (s *shard) publishModel(user string, blob []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	version := 1
+	if vs := s.models[user]; len(vs) > 0 {
+		version = vs[len(vs)-1].Version + 1
+	}
+	rec := walRecord{Seq: s.nextSeq, Op: opPublish, User: user, Version: version, Bundle: blob}
+	if err := s.append(rec); err != nil {
+		return 0, err
+	}
+	s.apply(rec)
+	s.maybeCompactLocked()
+	return version, nil
+}
+
+// maybeCompactLocked queues a background compaction when enough records
+// accumulated. It never blocks on the compaction itself.
+func (s *shard) maybeCompactLocked() {
+	if s.opt.SnapshotEvery < 0 || s.sinceSnapshot < s.opt.SnapshotEvery {
+		return
+	}
+	s.queueCompactionLocked()
+}
+
+// queueCompactionLocked seals the active WAL segment and hands a
+// copy-on-write view of the state to the compaction worker. Called with
+// s.mu held; the only I/O on this path is an O(1) rename + file create.
+func (s *shard) queueCompactionLocked() {
+	var sealed []string
+	if s.walBytes > 0 {
+		if !s.opt.NoSync {
+			if err := s.wal.Sync(); err != nil {
+				s.compactErr = fmt.Errorf("store: sync segment before seal: %w", err)
+				return
+			}
+		}
+		walPath := filepath.Join(s.dir, walFile)
+		sealedPath := filepath.Join(s.dir, sealedSegmentName(s.sealCounter))
+		if err := os.Rename(walPath, sealedPath); err != nil {
+			s.compactErr = fmt.Errorf("store: seal wal segment: %w", err)
+			return
+		}
+		fresh, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			// Roll the seal back: the old fd still points at the renamed
+			// file, so un-renaming restores the exact previous state.
+			_ = os.Rename(sealedPath, walPath)
+			s.compactErr = fmt.Errorf("store: open fresh wal segment: %w", err)
+			return
+		}
+		_ = s.wal.Close()
+		s.wal = fresh
+		s.sealCounter++
+		s.sealedBytes += s.walBytes
+		s.walBytes = 0
+		sealed = append(sealed, sealedPath)
+	}
+	s.sinceSnapshot = 0
+
+	users := make(map[string][]features.WindowSample, len(s.users))
+	for id, samples := range s.users {
+		users[id] = samples
+	}
+	models := make(map[string][]ModelVersion, len(s.models))
+	for id, versions := range s.models {
+		models[id] = versions
+	}
+	sealed = append(sealed, s.orphanSealed...)
+	s.orphanSealed = nil
+	job := &compactJob{lastSeq: s.nextSeq - 1, users: users, models: models, sealed: sealed}
+	if s.pending != nil {
+		// Coalesce: the newer view supersedes the queued one; carry its
+		// sealed segments forward so they are still deleted.
+		job.sealed = append(job.sealed, s.pending.sealed...)
+	}
+	s.pending = job
+	s.cond.Broadcast()
+}
+
+// worker is the shard's compaction goroutine: it drains queued jobs,
+// writing each snapshot without holding the shard lock.
+func (s *shard) worker() {
+	defer close(s.workerDone)
+	s.mu.Lock()
+	for {
+		for s.pending == nil && !s.closing {
+			s.cond.Wait()
+		}
+		if s.pending == nil && s.closing {
+			s.mu.Unlock()
+			return
+		}
+		job := s.pending
+		s.pending = nil
+		s.compacting = true
+		s.mu.Unlock()
+
+		if hook := compactionTestHook; hook != nil {
+			hook()
+		}
+		err := writeSnapshot(s.dir, snapshot{LastSeq: job.lastSeq, Users: job.users, Models: job.models})
+
+		s.mu.Lock()
+		s.compacting = false
+		if err != nil {
+			// The sealed segments still hold every record; keep them for
+			// the next attempt so nothing is lost, and surface the error.
+			s.compactErr = err
+			s.orphanSealed = append(s.orphanSealed, job.sealed...)
+		} else {
+			s.hasSnapshot = true
+			s.snapshotTime = time.Now()
+			for _, p := range job.sealed {
+				if info, statErr := os.Stat(p); statErr == nil {
+					s.sealedBytes -= info.Size()
+				}
+				_ = os.Remove(p)
+			}
+		}
+		s.cond.Broadcast()
+	}
+}
+
+// drainLocked waits until no compaction is queued or in flight, then
+// reports (and clears) any compaction error.
+func (s *shard) drainLocked() error {
+	for s.pending != nil || s.compacting {
+		s.cond.Wait()
+	}
+	err := s.compactErr
+	s.compactErr = nil
+	return err
+}
+
+// snapshotSync forces a compaction of the current state and waits for it
+// (and anything queued before it) to land.
+func (s *shard) snapshotSync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.queueCompactionLocked()
+	if s.compactErr != nil {
+		err := s.compactErr
+		s.compactErr = nil
+		return err
+	}
+	return s.drainLocked()
+}
+
+// close drains the compaction worker, then flushes and closes the log.
+func (s *shard) close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	drainErr := s.drainLocked()
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.workerDone
+
+	if err := s.wal.Sync(); err != nil {
+		_ = s.wal.Close()
+		return fmt.Errorf("store: sync wal on close: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("store: close wal: %w", err)
+	}
+	return drainErr
+}
+
+// shardStatsLocked snapshots the shard's counters. Caller must hold mu.
+func (s *shard) stats() ShardStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ShardStats{
+		Users:    len(s.users),
+		WALBytes: s.walBytes + s.sealedBytes,
+		Records:  s.nextSeq - 1,
+	}
+	for _, samples := range s.users {
+		st.Windows += len(samples)
+	}
+	return st
+}

@@ -10,12 +10,24 @@ import (
 	"smarteryou/internal/features"
 )
 
-// On-disk layout inside the store directory.
+// On-disk layout inside a shard directory.
 const (
-	walFile      = "wal.log"
+	// walFile is the active WAL segment. Compaction seals it by renaming
+	// it to a numbered sealedSegmentPattern file and starting a fresh one.
+	walFile = "wal.log"
+	// snapshotFile is the legacy JSON snapshot (PR 1 layout); it is read
+	// but no longer written.
 	snapshotFile = "snapshot.json"
-	tmpSuffix    = ".tmp"
+	// snapshotBinFile is the binary snapshot (codec.go format).
+	snapshotBinFile = "snapshot.bin"
+	tmpSuffix       = ".tmp"
 )
+
+// sealedSegmentName formats a sealed (read-only) WAL segment name; the
+// counter orders segments for replay.
+func sealedSegmentName(n uint64) string {
+	return fmt.Sprintf("wal-%08d.sealed", n)
+}
 
 // snapshot is the compacted store state: everything the WAL contained up
 // to (and including) LastSeq. Replay applies only records with a higher
@@ -30,13 +42,12 @@ type snapshot struct {
 // writeSnapshot atomically replaces the snapshot file: write to a
 // temporary file in the same directory, fsync it, then rename over the
 // final name. A crash at any point leaves either the old snapshot or the
-// new one — never a half-written file.
+// new one — never a half-written file. New snapshots are binary
+// (codec.go); a successful write removes any legacy JSON snapshot so the
+// directory holds a single source of truth.
 func writeSnapshot(dir string, snap snapshot) error {
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("store: encode snapshot: %w", err)
-	}
-	tmp := filepath.Join(dir, snapshotFile+tmpSuffix)
+	data := encodeBinarySnapshot(snap)
+	tmp := filepath.Join(dir, snapshotBinFile+tmpSuffix)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: create snapshot temp: %w", err)
@@ -52,19 +63,39 @@ func writeSnapshot(dir string, snap snapshot) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotBinFile)); err != nil {
 		return fmt.Errorf("store: publish snapshot: %w", err)
 	}
 	syncDir(dir)
+	_ = os.Remove(filepath.Join(dir, snapshotFile))
 	return nil
 }
 
-// loadSnapshot reads the current snapshot, reporting ok=false when none
-// exists yet. Stale temporaries from an interrupted compaction are removed.
+// loadSnapshot reads the current snapshot — binary first, then the legacy
+// JSON file — reporting ok=false when neither exists. Stale temporaries
+// from an interrupted compaction are removed.
 func loadSnapshot(dir string) (snap snapshot, mtime time.Time, ok bool, err error) {
 	_ = os.Remove(filepath.Join(dir, snapshotFile+tmpSuffix))
-	path := filepath.Join(dir, snapshotFile)
+	_ = os.Remove(filepath.Join(dir, snapshotBinFile+tmpSuffix))
+
+	path := filepath.Join(dir, snapshotBinFile)
 	data, err := os.ReadFile(path)
+	if err == nil {
+		snap, err = decodeBinarySnapshot(data)
+		if err != nil {
+			return snapshot{}, time.Time{}, false, err
+		}
+		if info, statErr := os.Stat(path); statErr == nil {
+			mtime = info.ModTime()
+		}
+		return snap, mtime, true, nil
+	}
+	if !os.IsNotExist(err) {
+		return snapshot{}, time.Time{}, false, fmt.Errorf("store: read snapshot: %w", err)
+	}
+
+	path = filepath.Join(dir, snapshotFile)
+	data, err = os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return snapshot{}, time.Time{}, false, nil
 	}

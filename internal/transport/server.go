@@ -74,6 +74,17 @@ type ServerStats struct {
 	// ModelVersions is the latest registered model version per
 	// (anonymized) user.
 	ModelVersions map[string]int `json:"model_versions,omitempty"`
+	// Shards reports the durable store's per-shard record counts when it
+	// is sharded; its length is the shard count.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one store shard's contribution to the population.
+type ShardStats struct {
+	Users    int    `json:"users"`
+	Windows  int    `json:"windows"`
+	WALBytes int64  `json:"wal_bytes"`
+	Records  uint64 `json:"records"`
 }
 
 // statsResponse is the stats reply payload.
@@ -362,6 +373,14 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			resp.ModelVersions = st.ModelVersions
 			if st.HasSnapshot {
 				resp.SnapshotAgeSeconds = st.SnapshotAge.Seconds()
+			}
+			for _, shs := range st.Shards {
+				resp.Shards = append(resp.Shards, ShardStats{
+					Users:    shs.Users,
+					Windows:  shs.Windows,
+					WALBytes: shs.WALBytes,
+					Records:  shs.Records,
+				})
 			}
 		}
 		return respond(TypeOK, resp)

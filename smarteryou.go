@@ -261,10 +261,14 @@ type (
 	// windows and published models. Pass one in AuthServerConfig.Store to
 	// make the Authentication Server durable across restarts.
 	PopulationStore = store.Store
-	// StoreOptions tunes the store (snapshot cadence, fsync policy).
+	// StoreOptions tunes the store: shard count (enroll throughput scales
+	// with independent WAL shards), snapshot cadence (compaction runs on
+	// background workers), model-version retention, and fsync policy.
 	StoreOptions = store.Options
 	// StoreStats summarizes the store's size and recovery state.
 	StoreStats = store.Stats
+	// StoreShardStats is one shard's slice of StoreStats.
+	StoreShardStats = store.ShardStats
 )
 
 // OpenStore creates or recovers a durable population store rooted at dir:
