@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench
+.PHONY: check build vet fmt test race fuzz bench bench-auth race-pool
 
-check: build vet fmt race
+check: build vet fmt race race-pool
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,20 @@ fuzz:
 # high enough to be stable; see the file's "how" field).
 bench:
 	$(GO) test -race -run=xxx -bench='BenchmarkStore|BinaryRecord' -benchtime=1x ./internal/store/ .
+
+# Authentication hot-path benchmarks (FFT plan, feature extraction, the
+# authenticate fast path, end-to-end window, and KRR training as an
+# untouched control). Before/after baselines live in BENCH_auth.json;
+# re-run this target and update the "after" column when the hot path
+# changes.
+bench-auth:
+	$(GO) test -run=xxx -bench='BenchmarkFFT300$$|BenchmarkFeatureExtraction6sWindow$$|BenchmarkAuthenticateWindow$$|BenchmarkEndToEndWindow$$|BenchmarkKRRTrain$$' -benchmem -benchtime=200x .
+
+# Focused race smoke over the shared FFT plan table and the server's
+# bounded train worker pool — the two concurrency surfaces of the hot
+# path. Fast enough for the tier-1 gate even though `race` already
+# covers these packages; this pins the named hammer tests so a future
+# test-file reshuffle cannot silently drop them.
+race-pool:
+	$(GO) test -race -run='TestTrainBackpressure|TestTrainPoolConcurrentHammer' ./internal/transport/
+	$(GO) test -race -run='TestPlanConcurrentSharing' ./internal/dsp/

@@ -148,12 +148,9 @@ func BenchmarkFigure3_KSTests(b *testing.B) {
 
 func BenchmarkFigure4_WindowSweep(b *testing.B) {
 	d := quickBenchData(b)
-	orig := experiments.Figure4Windows
-	experiments.Figure4Windows = []float64{6}
-	defer func() { experiments.Figure4Windows = orig }()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFigure4(d); err != nil {
+		if _, err := experiments.RunFigure4Sweep(d, []float64{6}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -161,12 +158,9 @@ func BenchmarkFigure4_WindowSweep(b *testing.B) {
 
 func BenchmarkFigure5_DataSizeSweep(b *testing.B) {
 	d := quickBenchData(b)
-	orig := experiments.Figure5Sizes
-	experiments.Figure5Sizes = []float64{400}
-	defer func() { experiments.Figure5Sizes = orig }()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunFigure5(d); err != nil {
+		if _, err := experiments.RunFigure5Sweep(d, []float64{400}); err != nil {
 			b.Fatal(err)
 		}
 	}

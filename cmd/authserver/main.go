@@ -36,13 +36,14 @@ func main() {
 
 func run() int {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7600", "listen address")
-		key        = flag.String("key", "", "pre-shared HMAC key (required)")
-		seedUsers  = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
-		seed       = flag.Int64("seed", 1, "synthetic data seed")
-		dataDir    = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
-		shards     = flag.Int("shards", 1, "independent WAL+snapshot shards in the durable store (fixed at store creation; reopening uses the on-disk count)")
-		keepModels = flag.Int("keep-models", 0, "model versions retained per user in the registry (0: unbounded)")
+		addr         = flag.String("addr", "127.0.0.1:7600", "listen address")
+		key          = flag.String("key", "", "pre-shared HMAC key (required)")
+		seedUsers    = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
+		seed         = flag.Int64("seed", 1, "synthetic data seed")
+		dataDir      = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
+		shards       = flag.Int("shards", 1, "independent WAL+snapshot shards in the durable store (fixed at store creation; reopening uses the on-disk count)")
+		keepModels   = flag.Int("keep-models", 0, "model versions retained per user in the registry (0: unbounded)")
+		trainWorkers = flag.Int("train-workers", 0, "concurrent model-training jobs (0: GOMAXPROCS); excess requests queue up to twice this, then get a busy response")
 	)
 	flag.Parse()
 	if *key == "" {
@@ -70,44 +71,71 @@ func run() int {
 			*dataDir, len(st.Shards), st.Users, st.Windows, len(st.ModelVersions), st.Recovery.Replayed, st.Recovery.TruncatedBytes)
 	}
 
-	log.Printf("generating %d-user context-training corpus...", *seedUsers)
-	pop, err := smarteryou.NewPopulation(*seedUsers, *seed)
-	if err != nil {
-		log.Print(err)
-		return 1
+	// A recovered store may already hold the published context detector;
+	// loading it skips the startup corpus generation and forest training
+	// entirely when the population is also recovered.
+	var detector *smarteryou.Detector
+	if store != nil {
+		if det, err := store.LatestDetector(); err == nil {
+			detector = det
+			log.Printf("loaded context detector from registry")
+		}
 	}
-	population := make(map[string][]smarteryou.WindowSample, *seedUsers)
-	var ctxTrain []smarteryou.WindowSample
-	for i, u := range pop.Users {
-		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
-			WindowSeconds:  6,
-			SessionSeconds: 120,
-			Sessions:       2,
-			Contexts: []smarteryou.Context{
-				smarteryou.ContextStationaryUse, smarteryou.ContextMovingUse,
-				smarteryou.ContextPhoneOnTable, smarteryou.ContextOnVehicle,
-			},
-			Seed: *seed + int64(i)*17,
-		})
+	needSeed := store == nil || store.Stats().Users == 0
+
+	var population map[string][]smarteryou.WindowSample
+	if detector == nil || needSeed {
+		log.Printf("generating %d-user context-training corpus...", *seedUsers)
+		pop, err := smarteryou.NewPopulation(*seedUsers, *seed)
 		if err != nil {
 			log.Print(err)
 			return 1
 		}
-		population[u.ID] = samples
-		ctxTrain = append(ctxTrain, samples...)
-	}
-	detector, err := smarteryou.TrainContextDetector(
-		smarteryou.ContextTrainingData(ctxTrain), smarteryou.DetectorConfig{Seed: *seed})
-	if err != nil {
-		log.Print(err)
-		return 1
+		population = make(map[string][]smarteryou.WindowSample, *seedUsers)
+		var ctxTrain []smarteryou.WindowSample
+		for i, u := range pop.Users {
+			samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+				WindowSeconds:  6,
+				SessionSeconds: 120,
+				Sessions:       2,
+				Contexts: []smarteryou.Context{
+					smarteryou.ContextStationaryUse, smarteryou.ContextMovingUse,
+					smarteryou.ContextPhoneOnTable, smarteryou.ContextOnVehicle,
+				},
+				Seed: *seed + int64(i)*17,
+			})
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			population[u.ID] = samples
+			ctxTrain = append(ctxTrain, samples...)
+		}
+		if detector == nil {
+			detector, err = smarteryou.TrainContextDetector(
+				smarteryou.ContextTrainingData(ctxTrain), smarteryou.DetectorConfig{Seed: *seed})
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			if store != nil {
+				if err := store.PublishDetector(detector); err != nil {
+					log.Print(err)
+					return 1
+				}
+				log.Printf("published context detector to registry")
+			}
+		}
+	} else {
+		log.Printf("skipping corpus generation: detector and population recovered from store")
 	}
 
 	server, err := smarteryou.NewAuthServer(smarteryou.AuthServerConfig{
-		Key:      []byte(*key),
-		Detector: detector,
-		Logf:     log.Printf,
-		Store:    store,
+		Key:          []byte(*key),
+		Detector:     detector,
+		Logf:         log.Printf,
+		Store:        store,
+		TrainWorkers: *trainWorkers,
 	})
 	if err != nil {
 		log.Print(err)
@@ -116,7 +144,7 @@ func run() int {
 	// Seed the synthetic population only into a store that has none yet;
 	// a recovered store already holds (possibly real) enrollments, and
 	// reseeding would append duplicate windows on every restart.
-	if store == nil || store.Stats().Users == 0 {
+	if needSeed {
 		server.SeedPopulation(population)
 	} else {
 		log.Printf("skipping synthetic seed: store already populated")

@@ -72,6 +72,13 @@ func (a *Authenticator) Mode() Mode {
 	return a.bundle.Mode
 }
 
+// vecPool recycles feature-vector buffers across Authenticate calls; the
+// classifiers only read the vector, so it never escapes a call.
+var vecPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 28)
+	return &s
+}}
+
 // Authenticate classifies one feature window end to end: context
 // detection (always on phone-only features, Section V-E), model dispatch,
 // then classification of the mode's feature vector.
@@ -93,7 +100,11 @@ func (a *Authenticator) Authenticate(sample features.WindowSample) (Decision, er
 	if err != nil {
 		return Decision{}, err
 	}
-	score, err := model.Score(sample.Vector(bundle.Mode.Combined))
+	vp := vecPool.Get().(*[]float64)
+	vec := sample.AppendVector((*vp)[:0], bundle.Mode.Combined)
+	score, err := model.Score(vec)
+	*vp = vec
+	vecPool.Put(vp)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: classify: %w", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 
 	"smarteryou/internal/features"
 	"smarteryou/internal/ml"
@@ -94,8 +95,20 @@ type Detection struct {
 
 // Detect classifies the coarse context of one phone feature window.
 func (d *Detector) Detect(phone features.DeviceFeatures) (Detection, error) {
-	return d.DetectVector(phone.AuthVector())
+	vp := vecPool.Get().(*[]float64)
+	v := phone.AppendAuthVector((*vp)[:0])
+	det, err := d.DetectVector(v)
+	*vp = v
+	vecPool.Put(vp)
+	return det, err
 }
+
+// vecPool recycles the 14-dim phone vectors Detect assembles; the forest
+// only reads the vector during voting, so it never escapes a call.
+var vecPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 14)
+	return &s
+}}
 
 // DetectVector classifies a raw 14-dim phone vector.
 func (d *Detector) DetectVector(vector []float64) (Detection, error) {

@@ -7,10 +7,6 @@ package dsp
 
 import (
 	"errors"
-	"fmt"
-	"math"
-	"math/bits"
-	"math/cmplx"
 )
 
 // ErrEmptyInput is returned when a transform or statistic is requested on
@@ -21,41 +17,31 @@ var ErrEmptyInput = errors.New("dsp: empty input")
 // lengths it uses an iterative radix-2 Cooley-Tukey algorithm; other
 // lengths are handled by Bluestein's chirp-z algorithm, so any window size
 // the authentication pipeline produces (50 Hz x 1..16 s = 50..800 samples)
-// is supported exactly.
+// is supported exactly. The permutation, twiddle and chirp tables come
+// from a cached per-length FFTPlan; use a plan directly for the
+// allocation-free in-place entry points.
 func FFT(x []complex128) ([]complex128, error) {
-	if len(x) == 0 {
-		return nil, ErrEmptyInput
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return nil, err
 	}
-	if len(x)&(len(x)-1) == 0 {
-		out := make([]complex128, len(x))
-		copy(out, x)
-		radix2(out, false)
-		return out, nil
+	out := make([]complex128, len(x))
+	if err := p.Transform(out, x); err != nil {
+		return nil, err
 	}
-	return bluestein(x, false)
+	return out, nil
 }
 
 // IFFT computes the inverse discrete Fourier transform of x, normalized by
 // 1/N so that IFFT(FFT(x)) == x.
 func IFFT(x []complex128) ([]complex128, error) {
-	if len(x) == 0 {
-		return nil, ErrEmptyInput
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return nil, err
 	}
-	var out []complex128
-	if len(x)&(len(x)-1) == 0 {
-		out = make([]complex128, len(x))
-		copy(out, x)
-		radix2(out, true)
-	} else {
-		var err error
-		out, err = bluestein(x, true)
-		if err != nil {
-			return nil, err
-		}
-	}
-	n := complex(float64(len(x)), 0)
-	for i := range out {
-		out[i] /= n
+	out := make([]complex128, len(x))
+	if err := p.InverseTransform(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -73,85 +59,6 @@ func FFTReal(x []float64) ([]complex128, error) {
 	return FFT(c)
 }
 
-// radix2 performs an in-place iterative Cooley-Tukey FFT on a
-// power-of-two-length slice. If inverse is true the conjugate transform is
-// computed (without the 1/N normalization).
-func radix2(a []complex128, inverse bool) {
-	n := len(a)
-	if n == 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if i < j {
-			a[i], a[j] = a[j], a[i]
-		}
-	}
-	sign := -2.0
-	if inverse {
-		sign = 2.0
-	}
-	for length := 2; length <= n; length <<= 1 {
-		ang := sign * math.Pi / float64(length)
-		wl := cmplx.Exp(complex(0, ang))
-		for start := 0; start < n; start += length {
-			w := complex(1, 0)
-			half := length / 2
-			for k := 0; k < half; k++ {
-				u := a[start+k]
-				v := a[start+k+half] * w
-				a[start+k] = u + v
-				a[start+k+half] = u - v
-				w *= wl
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution, which is in
-// turn computed with power-of-two FFTs.
-func bluestein(x []complex128, inverse bool) ([]complex128, error) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp: w_k = exp(sign * i*pi*k^2/n).
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k^2 mod 2n avoids precision loss for large k.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Exp(complex(0, sign*math.Pi*float64(kk)/float64(n)))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp[k]
-	}
-	return out, nil
-}
-
 // Spectrum holds the one-sided amplitude spectrum of a real signal.
 type Spectrum struct {
 	// Amplitudes[i] is the amplitude at Frequencies[i] in the input's
@@ -164,32 +71,17 @@ type Spectrum struct {
 // AmplitudeSpectrum computes the one-sided amplitude spectrum of a real
 // signal sampled at sampleRate Hz. Non-DC (and non-Nyquist) bins are scaled
 // by 2/N so amplitudes correspond to sinusoid amplitudes in the signal.
+// The transform runs through the cached plan's real-input path; callers on
+// the per-window hot path should hold a plan and use AmplitudeSpectrumInto
+// to reuse the output buffers too.
 func AmplitudeSpectrum(x []float64, sampleRate float64) (*Spectrum, error) {
-	if len(x) == 0 {
-		return nil, ErrEmptyInput
-	}
-	if sampleRate <= 0 {
-		return nil, fmt.Errorf("dsp: sample rate must be positive, got %g", sampleRate)
-	}
-	spec, err := FFTReal(x)
+	p, err := PlanFor(len(x))
 	if err != nil {
 		return nil, err
 	}
-	n := len(x)
-	half := n/2 + 1
-	out := &Spectrum{
-		Amplitudes:  make([]float64, half),
-		Frequencies: make([]float64, half),
-	}
-	for k := 0; k < half; k++ {
-		amp := cmplx.Abs(spec[k]) / float64(n)
-		// Double every bin that has a mirrored twin in the two-sided
-		// spectrum (everything except DC and, for even N, Nyquist).
-		if k != 0 && !(n%2 == 0 && k == n/2) {
-			amp *= 2
-		}
-		out.Amplitudes[k] = amp
-		out.Frequencies[k] = float64(k) * sampleRate / float64(n)
+	out := &Spectrum{}
+	if err := p.AmplitudeSpectrumInto(out, x, sampleRate); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

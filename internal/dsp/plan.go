@@ -1,0 +1,397 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// FFTPlan precomputes everything a transform of one length needs — the
+// bit-reversal permutation and per-stage twiddle factors of the radix-2
+// path, the chirp tables and pre-transformed convolution kernel of the
+// Bluestein path, and the packing twiddles of the real-input path — so the
+// per-window hot path of the authentication pipeline performs no trig and
+// no table allocation.
+//
+// A plan is immutable after construction and safe for concurrent use: the
+// only mutable state is a pool of scratch buffers, checked out per call.
+// Plans are cheap to share; PlanFor caches one per length.
+type FFTPlan struct {
+	n    int
+	pow2 bool
+
+	// Radix-2 machinery (power-of-two lengths, and the sub-transforms of
+	// the Bluestein convolution). twiddle holds the forward factors of
+	// every stage concatenated: the stage of butterfly span L occupies
+	// [L/2-1, L-1). The factors are generated with the same recurrence the
+	// pre-plan code used, so planned transforms are bit-identical to it.
+	perm       []int32
+	twiddle    []complex128
+	invTwiddle []complex128
+
+	// Bluestein machinery (other lengths): FFT(x)_k is expressed as a
+	// convolution with a chirp, computed with power-of-two FFTs of size m.
+	// bhatF/bhatI are the forward-transformed convolution kernels for the
+	// forward and inverse directions — fixed per length, so the per-call
+	// work drops from five sub-FFTs to three.
+	m      int
+	sub    *FFTPlan
+	chirpF []complex128
+	chirpI []complex128
+	bhatF  []complex128
+	bhatI  []complex128
+
+	// Real-input machinery (even lengths): n real samples are packed into
+	// n/2 complex values, transformed with the half-length plan, and
+	// unpacked with realTw[k] = exp(-2πik/n) — conjugate symmetry means
+	// the full spectrum costs one half-length transform.
+	half   *FFTPlan
+	realTw []complex128
+
+	scratch sync.Pool
+}
+
+// fftScratch is the per-call mutable state of a plan: the Bluestein
+// convolution buffer and a general complex buffer for the real-input and
+// spectrum paths.
+type fftScratch struct {
+	conv []complex128
+	buf  []complex128
+}
+
+// planCache maps length -> *FFTPlan. Plans are immutable, so sharing one
+// across goroutines is safe.
+var planCache sync.Map
+
+// PlanFor returns the shared, cached plan for transforms of length n.
+func PlanFor(n int) (*FFTPlan, error) {
+	if n <= 0 {
+		return nil, ErrEmptyInput
+	}
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan), nil
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*FFTPlan), nil
+}
+
+// NewFFTPlan builds an uncached plan for transforms of length n. Its
+// power-of-two and half-length sub-plans still come from the shared cache.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n <= 0 {
+		return nil, ErrEmptyInput
+	}
+	p := &FFTPlan{n: n, pow2: n&(n-1) == 0}
+	if p.pow2 {
+		p.buildRadix2()
+	} else {
+		if err := p.buildBluestein(); err != nil {
+			return nil, err
+		}
+	}
+	if n%2 == 0 && n > 1 {
+		half, err := PlanFor(n / 2)
+		if err != nil {
+			return nil, err
+		}
+		p.half = half
+		p.realTw = make([]complex128, n/2)
+		for k := range p.realTw {
+			p.realTw[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		}
+	}
+	p.scratch.New = func() any { return &fftScratch{} }
+	return p, nil
+}
+
+// Len returns the transform length the plan was built for.
+func (p *FFTPlan) Len() int { return p.n }
+
+// buildRadix2 precomputes the bit-reversal permutation and stage twiddle
+// tables. The recurrence (w starts at 1, w *= wl per butterfly) matches
+// the pre-plan implementation exactly so outputs stay bit-identical.
+func (p *FFTPlan) buildRadix2() {
+	n := p.n
+	p.perm = make([]int32, n)
+	if n > 1 {
+		shift := 64 - uint(bits.Len(uint(n-1)))
+		for i := 0; i < n; i++ {
+			p.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	p.twiddle = make([]complex128, 0, n-1)
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2.0 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		w := complex(1, 0)
+		for k := 0; k < length/2; k++ {
+			p.twiddle = append(p.twiddle, w)
+			w *= wl
+		}
+	}
+	p.invTwiddle = make([]complex128, len(p.twiddle))
+	for i, w := range p.twiddle {
+		// Conjugation is exact, and multiplying conjugates reproduces the
+		// inverse recurrence bit for bit.
+		p.invTwiddle[i] = cmplx.Conj(w)
+	}
+}
+
+// buildBluestein precomputes the chirp tables and the forward-transformed
+// convolution kernels for both directions.
+func (p *FFTPlan) buildBluestein() error {
+	n := p.n
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	sub, err := PlanFor(m)
+	if err != nil {
+		return err
+	}
+	p.m = m
+	p.sub = sub
+	p.chirpF = make([]complex128, n)
+	p.chirpI = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k^2 mod 2n avoids precision loss for large k.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		p.chirpF[k] = cmplx.Exp(complex(0, -math.Pi*float64(kk)/float64(n)))
+		p.chirpI[k] = cmplx.Exp(complex(0, math.Pi*float64(kk)/float64(n)))
+	}
+	p.bhatF = chirpKernel(sub, p.chirpF, m)
+	p.bhatI = chirpKernel(sub, p.chirpI, m)
+	return nil
+}
+
+// chirpKernel builds FFT(b) for one direction's chirp.
+func chirpKernel(sub *FFTPlan, chirp []complex128, m int) []complex128 {
+	n := len(chirp)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	sub.radix2(b, false)
+	return b
+}
+
+// radix2 runs the planned iterative Cooley-Tukey transform in place.
+// len(a) must equal p.n, and p must be a power-of-two plan.
+func (p *FFTPlan) radix2(a []complex128, inverse bool) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	for i, j := range p.perm {
+		if int32(i) < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	tws := p.twiddle
+	if inverse {
+		tws = p.invTwiddle
+	}
+	off := 0
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		tw := tws[off : off+half]
+		for start := 0; start < n; start += length {
+			base := a[start : start+length]
+			for k := 0; k < half; k++ {
+				u := base[k]
+				v := base[k+half] * tw[k]
+				base[k] = u + v
+				base[k+half] = u - v
+			}
+		}
+		off += half
+	}
+}
+
+// bluestein computes the planned chirp-z transform of src into dst
+// (dst may alias src). conv is the caller's m-length scratch.
+func (p *FFTPlan) bluestein(dst, src, conv []complex128, inverse bool) {
+	chirp, bhat := p.chirpF, p.bhatF
+	if inverse {
+		chirp, bhat = p.chirpI, p.bhatI
+	}
+	n, m := p.n, p.m
+	for k := 0; k < n; k++ {
+		conv[k] = src[k] * chirp[k]
+	}
+	for k := n; k < m; k++ {
+		conv[k] = 0
+	}
+	p.sub.radix2(conv, false)
+	for i := range conv {
+		conv[i] *= bhat[i]
+	}
+	p.sub.radix2(conv, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		dst[k] = conv[k] * invM * chirp[k]
+	}
+}
+
+// transform runs the unnormalized planned DFT of src into dst, which may
+// alias src. src is not modified unless aliased.
+func (p *FFTPlan) transform(dst, src []complex128, inverse bool) {
+	if p.pow2 {
+		if &dst[0] != &src[0] {
+			copy(dst, src)
+		}
+		p.radix2(dst, inverse)
+		return
+	}
+	sc := p.scratch.Get().(*fftScratch)
+	if cap(sc.conv) < p.m {
+		sc.conv = make([]complex128, p.m)
+	}
+	p.bluestein(dst, src, sc.conv[:p.m], inverse)
+	p.scratch.Put(sc)
+}
+
+// Transform computes the forward DFT of src into dst. dst and src must
+// both have the plan's length; dst may be the same slice as src for an
+// in-place transform, and src is left unmodified otherwise.
+func (p *FFTPlan) Transform(dst, src []complex128) error {
+	if len(src) != p.n || len(dst) != p.n {
+		return fmt.Errorf("dsp: plan is for length %d, got src %d dst %d", p.n, len(src), len(dst))
+	}
+	p.transform(dst, src, false)
+	return nil
+}
+
+// InverseTransform computes the inverse DFT of src into dst, normalized
+// by 1/N. The aliasing rules of Transform apply.
+func (p *FFTPlan) InverseTransform(dst, src []complex128) error {
+	if len(src) != p.n || len(dst) != p.n {
+		return fmt.Errorf("dsp: plan is for length %d, got src %d dst %d", p.n, len(src), len(dst))
+	}
+	p.transform(dst, src, true)
+	n := complex(float64(p.n), 0)
+	for i := range dst {
+		dst[i] /= n
+	}
+	return nil
+}
+
+// RealTransform computes the first n/2+1 bins of the DFT of a real signal
+// — the non-redundant half of a conjugate-symmetric spectrum. dst must
+// have at least n/2+1 elements. For even lengths the signal is packed
+// into a half-length complex transform, halving the butterfly work; odd
+// lengths fall back to the full complex transform.
+func (p *FFTPlan) RealTransform(dst []complex128, x []float64) error {
+	if len(x) != p.n {
+		return fmt.Errorf("dsp: plan is for length %d, got %d", p.n, len(x))
+	}
+	h := p.n / 2
+	if len(dst) < h+1 {
+		return fmt.Errorf("dsp: real transform needs %d output bins, got %d", h+1, len(dst))
+	}
+	if p.n == 1 {
+		dst[0] = complex(x[0], 0)
+		return nil
+	}
+	if p.n%2 != 0 {
+		sc := p.scratch.Get().(*fftScratch)
+		if cap(sc.buf) < p.n {
+			sc.buf = make([]complex128, p.n)
+		}
+		buf := sc.buf[:p.n]
+		for i, v := range x {
+			buf[i] = complex(v, 0)
+		}
+		p.transform(buf, buf, false)
+		copy(dst[:h+1], buf[:h+1])
+		p.scratch.Put(sc)
+		return nil
+	}
+
+	// Pack x into dst[:h] as z_j = x_{2j} + i*x_{2j+1} and transform with
+	// the half-length plan, in place.
+	z := dst[:h]
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.transform(z, z, false)
+
+	// Unpack: with Ze/Zo the DFTs of the even/odd samples,
+	//   X_k     = Ze_k + e^{-2πik/n} Zo_k
+	//   X_{h-k} = conj(Ze_k - e^{-2πik/n} Zo_k)
+	// Pairs (k, h-k) are resolved together because the unpack overwrites
+	// the packed values it reads.
+	z0 := z[0]
+	for k := 1; k <= h/2; k++ {
+		zk, zc := z[k], cmplx.Conj(z[h-k])
+		ze := (zk + zc) * 0.5
+		zo := (zk - zc) * 0.5
+		zo = complex(imag(zo), -real(zo)) // divide by i
+		t := p.realTw[k] * zo
+		dst[k] = ze + t
+		dst[h-k] = cmplx.Conj(ze - t)
+	}
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	return nil
+}
+
+// AmplitudeSpectrumInto computes the one-sided amplitude spectrum of a
+// real signal into out, reusing out's slices when they have capacity —
+// the allocation-free form of AmplitudeSpectrum. The caller owns out; the
+// plan only borrows it for the call.
+//
+// The transform runs through the full complex path rather than
+// RealTransform: the packed real transform reorders floating-point
+// operations, and the feature pipeline's paper artifacts are pinned
+// bit-identical across refactors. Callers that can tolerate ulp-level
+// differences for ~2x fewer butterflies should call RealTransform.
+func (p *FFTPlan) AmplitudeSpectrumInto(out *Spectrum, x []float64, sampleRate float64) error {
+	if len(x) != p.n {
+		return fmt.Errorf("dsp: plan is for length %d, got %d", p.n, len(x))
+	}
+	if sampleRate <= 0 {
+		return fmt.Errorf("dsp: sample rate must be positive, got %g", sampleRate)
+	}
+	n := p.n
+	half := n/2 + 1
+	sc := p.scratch.Get().(*fftScratch)
+	if cap(sc.buf) < n {
+		sc.buf = make([]complex128, n)
+	}
+	spec := sc.buf[:n]
+	for i, v := range x {
+		spec[i] = complex(v, 0)
+	}
+	p.transform(spec, spec, false)
+	out.Amplitudes = growFloats(out.Amplitudes, half)
+	out.Frequencies = growFloats(out.Frequencies, half)
+	for k := 0; k < half; k++ {
+		amp := cmplx.Abs(spec[k]) / float64(n)
+		if k != 0 && !(n%2 == 0 && k == n/2) {
+			amp *= 2
+		}
+		out.Amplitudes[k] = amp
+		out.Frequencies[k] = float64(k) * sampleRate / float64(n)
+	}
+	p.scratch.Put(sc)
+	return nil
+}
+
+// growFloats returns s resized to n, reusing its backing array when it is
+// large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

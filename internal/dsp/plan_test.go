@@ -1,0 +1,221 @@
+package dsp
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// pipelineLengths is every window length the authentication pipeline can
+// produce (50 Hz x 1..16 s), plus power-of-two, odd and prime lengths that
+// exercise the radix-2, Bluestein and real-packing paths.
+func pipelineLengths() []int {
+	lengths := []int{1, 2, 3, 5, 7, 16, 31, 64, 101, 128, 256, 299, 512}
+	for s := 1; s <= 16; s++ {
+		lengths = append(lengths, 50*s)
+	}
+	return lengths
+}
+
+func maxRelErr(got, want []complex128) float64 {
+	scale := 0.0
+	for _, w := range want {
+		if a := cmplx.Abs(w); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	worst := 0.0
+	for i := range want {
+		if d := cmplx.Abs(got[i]-want[i]) / scale; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestPlanMatchesNaiveDFT is the property test of the plan's forward
+// transform: for every pipeline window length, planned output must match
+// the textbook DFT definition.
+func TestPlanMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range pipelineLengths() {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got, err := FFT(x)
+		if err != nil {
+			t.Fatalf("n=%d: FFT: %v", n, err)
+		}
+		want := naiveDFT(x)
+		if e := maxRelErr(got, want); e > 1e-10 {
+			t.Errorf("n=%d: forward transform deviates from naive DFT by %g", n, e)
+		}
+		back, err := IFFT(got)
+		if err != nil {
+			t.Fatalf("n=%d: IFFT: %v", n, err)
+		}
+		if e := maxRelErr(back, x); e > 1e-10 {
+			t.Errorf("n=%d: IFFT(FFT(x)) deviates from x by %g", n, e)
+		}
+	}
+}
+
+// TestRealTransformMatchesComplex checks the conjugate-symmetry path: the
+// packed real transform must agree with the full complex transform on the
+// non-redundant half of the spectrum, for even (packed) and odd
+// (fallback) lengths alike.
+func TestRealTransformMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range pipelineLengths() {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		p, err := PlanFor(n)
+		if err != nil {
+			t.Fatalf("n=%d: PlanFor: %v", n, err)
+		}
+		got := make([]complex128, n/2+1)
+		if err := p.RealTransform(got, x); err != nil {
+			t.Fatalf("n=%d: RealTransform: %v", n, err)
+		}
+		full, err := FFTReal(x)
+		if err != nil {
+			t.Fatalf("n=%d: FFTReal: %v", n, err)
+		}
+		if e := maxRelErr(got, full[:n/2+1]); e > 1e-10 {
+			t.Errorf("n=%d: real transform deviates from complex reference by %g", n, e)
+		}
+	}
+}
+
+// TestAmplitudeSpectrumIntoReuse checks the Into variant gives the same
+// spectrum as the allocating API while reusing the caller's buffers.
+func TestAmplitudeSpectrumIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var reused Spectrum
+	for _, n := range []int{300, 256, 750} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want, err := AmplitudeSpectrum(x, 50)
+		if err != nil {
+			t.Fatalf("n=%d: AmplitudeSpectrum: %v", n, err)
+		}
+		p, err := PlanFor(n)
+		if err != nil {
+			t.Fatalf("n=%d: PlanFor: %v", n, err)
+		}
+		if err := p.AmplitudeSpectrumInto(&reused, x, 50); err != nil {
+			t.Fatalf("n=%d: AmplitudeSpectrumInto: %v", n, err)
+		}
+		if len(reused.Amplitudes) != len(want.Amplitudes) {
+			t.Fatalf("n=%d: got %d bins, want %d", n, len(reused.Amplitudes), len(want.Amplitudes))
+		}
+		for k := range want.Amplitudes {
+			if reused.Amplitudes[k] != want.Amplitudes[k] {
+				t.Fatalf("n=%d bin %d: amplitude %g != %g", n, k, reused.Amplitudes[k], want.Amplitudes[k])
+			}
+			if reused.Frequencies[k] != want.Frequencies[k] {
+				t.Fatalf("n=%d bin %d: frequency %g != %g", n, k, reused.Frequencies[k], want.Frequencies[k])
+			}
+		}
+	}
+}
+
+// TestAmplitudeSpectrumIntoAllocFree asserts the per-window hot path does
+// not allocate once the plan and output buffers are warm.
+func TestAmplitudeSpectrumIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	x := make([]float64, 300)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	p, err := PlanFor(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec Spectrum
+	if err := p.AmplitudeSpectrumInto(&spec, x, 50); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.AmplitudeSpectrumInto(&spec, x, 50); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The scratch pool may be emptied by a GC between runs; allow a small
+	// slack rather than demanding literally zero under test instrumentation.
+	if allocs > 1 {
+		t.Fatalf("AmplitudeSpectrumInto allocates %.1f times per call on the warm path", allocs)
+	}
+}
+
+// TestPlanConcurrentSharing hammers one shared plan table from many
+// goroutines across mixed lengths — the -race companion to the plan
+// cache's immutability claim.
+func TestPlanConcurrentSharing(t *testing.T) {
+	lengths := []int{50, 300, 256, 750, 800}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var spec Spectrum
+			for iter := 0; iter < 40; iter++ {
+				n := lengths[iter%len(lengths)]
+				x := make([]float64, n)
+				for i := range x {
+					x[i] = rng.NormFloat64()
+				}
+				p, err := PlanFor(n)
+				if err != nil {
+					t.Errorf("PlanFor(%d): %v", n, err)
+					return
+				}
+				if err := p.AmplitudeSpectrumInto(&spec, x, 50); err != nil {
+					t.Errorf("n=%d: %v", n, err)
+					return
+				}
+				want, err := AmplitudeSpectrum(x, 50)
+				if err != nil {
+					t.Errorf("n=%d: %v", n, err)
+					return
+				}
+				for k := range want.Amplitudes {
+					if spec.Amplitudes[k] != want.Amplitudes[k] {
+						t.Errorf("n=%d bin %d: concurrent result diverged", n, k)
+						return
+					}
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+}
+
+func TestPlanInvalidInputs(t *testing.T) {
+	if _, err := PlanFor(0); err == nil {
+		t.Error("PlanFor(0) should fail")
+	}
+	p, err := PlanFor(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transform(make([]complex128, 8), make([]complex128, 4)); err == nil {
+		t.Error("length-mismatched Transform should fail")
+	}
+	if err := p.RealTransform(make([]complex128, 2), make([]float64, 8)); err == nil {
+		t.Error("undersized RealTransform dst should fail")
+	}
+	if err := p.AmplitudeSpectrumInto(&Spectrum{}, make([]float64, 8), 0); err == nil {
+		t.Error("non-positive sample rate should fail")
+	}
+}

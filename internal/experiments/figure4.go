@@ -29,10 +29,17 @@ type Figure4Result struct {
 var Figure4Windows = []float64{1, 2, 4, 6, 8, 12, 16}
 
 // RunFigure4 sweeps the window size for every device set and reports
-// per-context FRR/FAR.
+// per-context FRR/FAR, using the paper's default grid.
 func RunFigure4(d *Data) (*Figure4Result, error) {
-	res := &Figure4Result{Windows: Figure4Windows}
-	for _, w := range Figure4Windows {
+	return RunFigure4Sweep(d, Figure4Windows)
+}
+
+// RunFigure4Sweep is RunFigure4 over an explicit window grid, so callers
+// (benchmarks, partial sweeps) pass their grid instead of mutating the
+// package default.
+func RunFigure4Sweep(d *Data, windows []float64) (*Figure4Result, error) {
+	res := &Figure4Result{Windows: windows}
+	for _, w := range windows {
 		for _, devices := range []DeviceSet{DeviceCombination, DevicePhoneOnly, DeviceWatchOnly} {
 			byCtx, err := d.EvaluateAuthByContext(EvalOptions{
 				Devices:       devices,

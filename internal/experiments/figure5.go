@@ -33,11 +33,19 @@ type Figure5Result struct {
 // Figure5Sizes is the sweep grid in seconds of legitimate training data.
 var Figure5Sizes = []float64{100, 200, 400, 600, 800, 1000, 1200}
 
-// RunFigure5 sweeps the training-set size. Training windows are taken
-// newest-first (the device's retention buffer), and testing uses held-out
-// sessions recorded after the collection campaign (day Days+1).
+// RunFigure5 sweeps the training-set size over the paper's default grid.
+// Training windows are taken newest-first (the device's retention buffer),
+// and testing uses held-out sessions recorded after the collection
+// campaign (day Days+1).
 func RunFigure5(d *Data) (*Figure5Result, error) {
-	res := &Figure5Result{Sizes: Figure5Sizes}
+	return RunFigure5Sweep(d, Figure5Sizes)
+}
+
+// RunFigure5Sweep is RunFigure5 over an explicit size grid, so callers
+// (benchmarks, partial sweeps) pass their grid instead of mutating the
+// package default.
+func RunFigure5Sweep(d *Data, sizes []float64) (*Figure5Result, error) {
+	res := &Figure5Result{Sizes: sizes}
 	det, err := d.Detector(6)
 	if err != nil {
 		return nil, err
@@ -83,7 +91,7 @@ func RunFigure5(d *Data) (*Figure5Result, error) {
 			return nil, err
 		}
 
-		for _, size := range Figure5Sizes {
+		for _, size := range sizes {
 			nLegit := int(size / 6)
 			if nLegit < 4 {
 				nLegit = 4
@@ -133,7 +141,7 @@ func RunFigure5(d *Data) (*Figure5Result, error) {
 		}
 	}
 
-	for _, size := range Figure5Sizes {
+	for _, size := range sizes {
 		for _, ctx := range []sensing.CoarseContext{sensing.CoarseStationary, sensing.CoarseMoving} {
 			for _, devices := range []DeviceSet{DeviceCombination, DevicePhoneOnly, DeviceWatchOnly} {
 				c := acc[key(size, ctx, devices)]

@@ -12,14 +12,10 @@ func TestFigure4WindowSweep(t *testing.T) {
 		t.Skip("window sweep is expensive")
 	}
 	d := quickData(t)
-	// Shrink the sweep for the test; restore the package grid afterwards.
-	orig := Figure4Windows
-	Figure4Windows = []float64{2, 6}
-	defer func() { Figure4Windows = orig }()
-
-	r, err := RunFigure4(d)
+	// Shrink the sweep for the test via the parameterized runner.
+	r, err := RunFigure4Sweep(d, []float64{2, 6})
 	if err != nil {
-		t.Fatalf("RunFigure4: %v", err)
+		t.Fatalf("RunFigure4Sweep: %v", err)
 	}
 	// 2 windows x 3 device sets x 2 contexts.
 	if len(r.Points) != 12 {
@@ -59,13 +55,9 @@ func TestFigure5DataSweep(t *testing.T) {
 		t.Skip("data-size sweep is expensive")
 	}
 	d := quickData(t)
-	orig := Figure5Sizes
-	Figure5Sizes = []float64{100, 600}
-	defer func() { Figure5Sizes = orig }()
-
-	r, err := RunFigure5(d)
+	r, err := RunFigure5Sweep(d, []float64{100, 600})
 	if err != nil {
-		t.Fatalf("RunFigure5: %v", err)
+		t.Fatalf("RunFigure5Sweep: %v", err)
 	}
 	for _, ctx := range []sensing.CoarseContext{sensing.CoarseStationary, sensing.CoarseMoving} {
 		series := r.Series(ctx, DeviceCombination)

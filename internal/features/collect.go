@@ -26,6 +26,16 @@ func (w WindowSample) Vector(combined bool) []float64 {
 	return w.Phone.AuthVector()
 }
 
+// AppendVector appends the sample's feature vector to dst — the
+// allocation-free form of Vector for hot paths that reuse a buffer.
+func (w WindowSample) AppendVector(dst []float64, combined bool) []float64 {
+	dst = w.Phone.AppendAuthVector(dst)
+	if combined {
+		dst = w.Watch.AppendAuthVector(dst)
+	}
+	return dst
+}
+
 // WatchVector returns the watch-only 14-dim vector, for the device
 // ablation of Fig. 4 / Fig. 5.
 func (w WindowSample) WatchVector() []float64 {
@@ -106,6 +116,9 @@ func Collect(u *sensing.User, opt CollectOptions) ([]WindowSample, error) {
 	}
 	opt = opt.withDefaults()
 	var out []WindowSample
+	// One extractor for the whole campaign: every session and both devices
+	// share the FFT plan and scratch buffers.
+	e := NewExtractor()
 	for _, sess := range SessionPlan(u, opt) {
 		phoneStream, err := sess.Generate(sensing.DevicePhone)
 		if err != nil {
@@ -115,11 +128,11 @@ func Collect(u *sensing.User, opt CollectOptions) ([]WindowSample, error) {
 		if err != nil {
 			return nil, fmt.Errorf("features: collect %s watch: %w", u.ID, err)
 		}
-		phoneWins, err := ExtractWindows(phoneStream, opt.WindowSeconds)
+		phoneWins, err := e.ExtractWindows(phoneStream, opt.WindowSeconds)
 		if err != nil {
 			return nil, fmt.Errorf("features: collect %s phone windows: %w", u.ID, err)
 		}
-		watchWins, err := ExtractWindows(watchStream, opt.WindowSeconds)
+		watchWins, err := e.ExtractWindows(watchStream, opt.WindowSeconds)
 		if err != nil {
 			return nil, fmt.Errorf("features: collect %s watch windows: %w", u.ID, err)
 		}

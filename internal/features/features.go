@@ -15,6 +15,7 @@ package features
 
 import (
 	"fmt"
+	"sync"
 
 	"smarteryou/internal/dsp"
 	"smarteryou/internal/sensing"
@@ -78,25 +79,87 @@ func (s SensorFeatures) Pruned() []float64 {
 	return []float64{s.Mean, s.Var, s.Max, s.Min, s.Peak, s.PeakF, s.Peak2}
 }
 
+// AppendPruned appends the pruned features to dst — the allocation-free
+// form of Pruned for callers assembling vectors into reused buffers.
+func (s SensorFeatures) AppendPruned(dst []float64) []float64 {
+	return append(dst, s.Mean, s.Var, s.Max, s.Min, s.Peak, s.PeakF, s.Peak2)
+}
+
 // All returns all nine candidate features in CandidateNames order.
 func (s SensorFeatures) All() []float64 {
 	return []float64{s.Mean, s.Var, s.Max, s.Min, s.Ran, s.Peak, s.PeakF, s.Peak2, s.Peak2F}
+}
+
+// Extractor owns the FFT plan and scratch buffers of the per-window
+// feature pipeline: the detrend buffer, the magnitude series, and the
+// reused amplitude spectrum. Holding one across windows (and across
+// streams — see ExtractBatch) makes the hot path allocation-free where
+// the stateless package functions re-derived everything per window.
+//
+// An Extractor is NOT safe for concurrent use; give each goroutine its
+// own, or use the package-level functions, which draw from a shared pool.
+type Extractor struct {
+	plan    *dsp.FFTPlan
+	spec    dsp.Spectrum
+	detrend []float64
+	accMag  []float64
+	gyrMag  []float64
+}
+
+// NewExtractor returns an empty extractor; plans and buffers are sized on
+// first use and re-sized when the window length changes.
+func NewExtractor() *Extractor {
+	return &Extractor{}
+}
+
+// extractorPool backs the stateless package entry points so repeated
+// calls reuse plans and scratch instead of reallocating them.
+var extractorPool = sync.Pool{New: func() any { return NewExtractor() }}
+
+// ensurePlan points the extractor's plan at the window length.
+func (e *Extractor) ensurePlan(size int) error {
+	if e.plan != nil && e.plan.Len() == size {
+		return nil
+	}
+	p, err := dsp.PlanFor(size)
+	if err != nil {
+		return err
+	}
+	e.plan = p
+	return nil
+}
+
+// growFloats returns s resized to n, reusing its backing array when
+// possible.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // ExtractSensor computes the nine candidate statistics of one magnitude
 // window sampled at rate Hz. The spectral statistics are computed on the
 // detrended window so the DC component (gravity, for the accelerometer)
 // does not mask the motion spectrum.
-func ExtractSensor(window []float64, rate float64) (SensorFeatures, error) {
+func (e *Extractor) ExtractSensor(window []float64, rate float64) (SensorFeatures, error) {
 	ts, err := dsp.Stats(window)
 	if err != nil {
 		return SensorFeatures{}, fmt.Errorf("features: time-domain stats: %w", err)
 	}
-	spec, err := dsp.AmplitudeSpectrum(dsp.Detrend(window), rate)
-	if err != nil {
+	if err := e.ensurePlan(len(window)); err != nil {
 		return SensorFeatures{}, fmt.Errorf("features: spectrum: %w", err)
 	}
-	peaks := spec.Peaks()
+	// Detrend into the reused buffer: same subtraction as dsp.Detrend,
+	// without the per-window allocation.
+	e.detrend = growFloats(e.detrend, len(window))
+	for i, v := range window {
+		e.detrend[i] = v - ts.Mean
+	}
+	if err := e.plan.AmplitudeSpectrumInto(&e.spec, e.detrend, rate); err != nil {
+		return SensorFeatures{}, fmt.Errorf("features: spectrum: %w", err)
+	}
+	peaks := e.spec.Peaks()
 	return SensorFeatures{
 		Mean:   ts.Mean,
 		Var:    ts.Var,
@@ -110,6 +173,16 @@ func ExtractSensor(window []float64, rate float64) (SensorFeatures, error) {
 	}, nil
 }
 
+// ExtractSensor computes the nine candidate statistics of one magnitude
+// window using a pooled extractor. Hot paths that process many windows
+// should hold an Extractor instead.
+func ExtractSensor(window []float64, rate float64) (SensorFeatures, error) {
+	e := extractorPool.Get().(*Extractor)
+	sf, err := e.ExtractSensor(window, rate)
+	extractorPool.Put(e)
+	return sf, err
+}
+
 // DeviceFeatures summarizes one device's accelerometer and gyroscope in
 // one window.
 type DeviceFeatures struct {
@@ -120,7 +193,13 @@ type DeviceFeatures struct {
 // AuthVector returns the 14-element single-device vector of Eq. 3:
 // pruned accelerometer features followed by pruned gyroscope features.
 func (d DeviceFeatures) AuthVector() []float64 {
-	return append(d.Acc.Pruned(), d.Gyr.Pruned()...)
+	return d.AppendAuthVector(make([]float64, 0, 14))
+}
+
+// AppendAuthVector appends the Eq. 3 vector to dst without intermediate
+// allocations.
+func (d DeviceFeatures) AppendAuthVector(dst []float64) []float64 {
+	return d.Gyr.AppendPruned(d.Acc.AppendPruned(dst))
 }
 
 // FullVector returns the 18-element unpruned vector (both sensors, all
@@ -148,7 +227,7 @@ func VectorDim(devices int) int { return 14 * devices }
 // ExtractWindows slices a stream into non-overlapping windows of
 // windowSeconds and computes DeviceFeatures for each. Windows shorter than
 // the full length at the stream tail are dropped, matching dsp.Windows.
-func ExtractWindows(stream *sensing.Stream, windowSeconds float64) ([]DeviceFeatures, error) {
+func (e *Extractor) ExtractWindows(stream *sensing.Stream, windowSeconds float64) ([]DeviceFeatures, error) {
 	if stream == nil || len(stream.Samples) == 0 {
 		return nil, fmt.Errorf("features: empty stream")
 	}
@@ -160,36 +239,64 @@ func ExtractWindows(stream *sensing.Stream, windowSeconds float64) ([]DeviceFeat
 		return nil, fmt.Errorf("features: window of %g s at %g Hz has no samples", windowSeconds, stream.Rate)
 	}
 
-	ax, ay, az := stream.AccSeries()
-	accMag, err := dsp.MagnitudeSeries(ax, ay, az)
-	if err != nil {
-		return nil, fmt.Errorf("features: acc magnitude: %w", err)
-	}
-	gx, gy, gz := stream.GyrSeries()
-	gyrMag, err := dsp.MagnitudeSeries(gx, gy, gz)
-	if err != nil {
-		return nil, fmt.Errorf("features: gyr magnitude: %w", err)
+	// Both magnitude series in one pass over the samples, into reused
+	// buffers — the stateless path allocated eight slices here.
+	n := len(stream.Samples)
+	e.accMag = growFloats(e.accMag, n)
+	e.gyrMag = growFloats(e.gyrMag, n)
+	for i := range stream.Samples {
+		smp := &stream.Samples[i]
+		e.accMag[i] = dsp.Magnitude(smp.Acc.X, smp.Acc.Y, smp.Acc.Z)
+		e.gyrMag[i] = dsp.Magnitude(smp.Gyr.X, smp.Gyr.Y, smp.Gyr.Z)
 	}
 
-	accWins, err := dsp.Windows(accMag, size)
+	accWins, err := dsp.Windows(e.accMag, size)
 	if err != nil {
 		return nil, err
 	}
-	gyrWins, err := dsp.Windows(gyrMag, size)
+	gyrWins, err := dsp.Windows(e.gyrMag, size)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]DeviceFeatures, len(accWins))
 	for i := range accWins {
-		acc, err := ExtractSensor(accWins[i], stream.Rate)
+		acc, err := e.ExtractSensor(accWins[i], stream.Rate)
 		if err != nil {
 			return nil, fmt.Errorf("features: window %d acc: %w", i, err)
 		}
-		gyr, err := ExtractSensor(gyrWins[i], stream.Rate)
+		gyr, err := e.ExtractSensor(gyrWins[i], stream.Rate)
 		if err != nil {
 			return nil, fmt.Errorf("features: window %d gyr: %w", i, err)
 		}
 		out[i] = DeviceFeatures{Acc: acc, Gyr: gyr}
+	}
+	return out, nil
+}
+
+// ExtractWindows is the stateless form of Extractor.ExtractWindows,
+// backed by the shared extractor pool; existing callers keep this
+// signature and still reuse plans and scratch across calls.
+func ExtractWindows(stream *sensing.Stream, windowSeconds float64) ([]DeviceFeatures, error) {
+	e := extractorPool.Get().(*Extractor)
+	out, err := e.ExtractWindows(stream, windowSeconds)
+	extractorPool.Put(e)
+	return out, err
+}
+
+// ExtractBatch extracts windowed features from several streams with one
+// shared plan and scratch set — the batch entry point for harnesses that
+// process whole recording campaigns. The i-th result corresponds to the
+// i-th stream.
+func ExtractBatch(streams []*sensing.Stream, windowSeconds float64) ([][]DeviceFeatures, error) {
+	e := extractorPool.Get().(*Extractor)
+	defer extractorPool.Put(e)
+	out := make([][]DeviceFeatures, len(streams))
+	for i, s := range streams {
+		wins, err := e.ExtractWindows(s, windowSeconds)
+		if err != nil {
+			return nil, fmt.Errorf("features: batch stream %d: %w", i, err)
+		}
+		out[i] = wins
 	}
 	return out, nil
 }

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/sensing"
+)
+
+// trainDetector fits a small real context detector so persistence tests
+// exercise its actual JSON serialization.
+func trainDetector(t *testing.T) *ctxdetect.Detector {
+	t.Helper()
+	samples := fakeSamples("ctx", 24, 1)
+	for i := range samples {
+		if i%2 == 1 {
+			samples[i].Context = sensing.ContextMovingUse
+			samples[i].Phone.Acc.Mean += 5
+		}
+	}
+	det, err := ctxdetect.Train(ctxdetect.FromSamples(samples), ctxdetect.Config{Seed: 7, Trees: 5})
+	if err != nil {
+		t.Fatalf("ctxdetect.Train: %v", err)
+	}
+	return det
+}
+
+// TestDetectorPersistence publishes the context detector, reopens the
+// store, and checks the recovered detector classifies identically — the
+// restart path authserver boots through instead of retraining.
+func TestDetectorPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, Options{})
+
+	if _, err := s.LatestDetector(); !errors.Is(err, ErrNoModel) {
+		t.Errorf("LatestDetector on empty store err = %v, want ErrNoModel", err)
+	}
+	if err := s.PublishDetector(nil); err == nil {
+		t.Error("PublishDetector(nil) should fail")
+	}
+
+	det := trainDetector(t)
+	if err := s.PublishDetector(det); err != nil {
+		t.Fatalf("PublishDetector: %v", err)
+	}
+	// The reserved key must not leak into the user-facing registry views.
+	if vs := s.ModelVersions(); len(vs) != 0 {
+		t.Errorf("ModelVersions after detector publish = %v, want empty", vs)
+	}
+	if st := s.Stats(); len(st.ModelVersions) != 0 {
+		t.Errorf("Stats.ModelVersions after detector publish = %v, want empty", st.ModelVersions)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := openStore(t, dir, Options{})
+	defer func() { _ = s2.Close() }()
+	got, err := s2.LatestDetector()
+	if err != nil {
+		t.Fatalf("LatestDetector after reopen: %v", err)
+	}
+	probe := fakeSamples("probe", 6, 2)
+	for i := range probe {
+		want, err := det.Detect(probe[i].Phone)
+		if err != nil {
+			t.Fatalf("original Detect: %v", err)
+		}
+		have, err := got.Detect(probe[i].Phone)
+		if err != nil {
+			t.Fatalf("recovered Detect: %v", err)
+		}
+		if want != have {
+			t.Errorf("probe %d: recovered detector decided %+v, original %+v", i, have, want)
+		}
+	}
+}

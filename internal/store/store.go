@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
 )
 
@@ -366,6 +367,51 @@ func (s *Store) PublishModel(user string, bundle *core.ModelBundle) (int, error)
 	return s.shardFor(user).publishModel(user, blob)
 }
 
+// detectorKey is the reserved registry identifier the user-agnostic
+// context detector is published under. It starts with a NUL byte, which no
+// anonymized user pseudonym ("anon-..." hex) can, so it never collides
+// with a user's model history. The key is filtered out of ModelVersions
+// and Stats so the detector does not masquerade as a user.
+const detectorKey = "\x00context-detector"
+
+// PublishDetector durably stores the user-agnostic context detector in
+// the registry, so a restarted server can serve it without retraining
+// from a regenerated corpus.
+func (s *Store) PublishDetector(det *ctxdetect.Detector) error {
+	if det == nil {
+		return fmt.Errorf("store: publish: nil detector")
+	}
+	blob, err := json.Marshal(det)
+	if err != nil {
+		return fmt.Errorf("store: encode detector: %w", err)
+	}
+	if _, err := s.shardFor(detectorKey).publishModel(detectorKey, blob); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LatestDetector loads the most recently published context detector.
+// Returns ErrNoModel when no detector has been published.
+func (s *Store) LatestDetector() (*ctxdetect.Detector, error) {
+	sh := s.shardFor(detectorKey)
+	sh.mu.Lock()
+	vs := sh.models[detectorKey]
+	var blob json.RawMessage
+	if len(vs) > 0 {
+		blob = vs[len(vs)-1].Bundle
+	}
+	sh.mu.Unlock()
+	if blob == nil {
+		return nil, fmt.Errorf("%w: no published context detector", ErrNoModel)
+	}
+	var det ctxdetect.Detector
+	if err := json.Unmarshal(blob, &det); err != nil {
+		return nil, fmt.Errorf("store: decode detector: %w", err)
+	}
+	return &det, nil
+}
+
 // LatestModel fetches the most recently published model for the user.
 func (s *Store) LatestModel(user string) (*core.ModelBundle, int, error) {
 	sh := s.shardFor(user)
@@ -411,6 +457,9 @@ func (s *Store) ModelVersions() map[string]int {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for id, vs := range sh.models {
+			if id == detectorKey {
+				continue
+			}
 			if len(vs) > 0 {
 				out[id] = vs[len(vs)-1].Version
 			}
@@ -455,6 +504,9 @@ func (s *Store) Stats() Stats {
 		st.Recovery.SkippedBySnapshot += sh.recovery.SkippedBySnapshot
 		st.Recovery.TruncatedBytes += sh.recovery.TruncatedBytes
 		for id, vs := range sh.models {
+			if id == detectorKey {
+				continue
+			}
 			if len(vs) > 0 {
 				st.ModelVersions[id] = vs[len(vs)-1].Version
 			}

@@ -134,6 +134,31 @@ func (c *Client) FetchModel(userID string, version int) (*core.ModelBundle, int,
 	return resp.Bundle, resp.Version, nil
 }
 
+// AuthDecision is the server-side authentication outcome.
+type AuthDecision struct {
+	// Context is the detector's coarse context label.
+	Context string
+	// ContextConfidence is the detector's vote fraction.
+	ContextConfidence float64
+	// Score is the classifier's confidence score CS(k).
+	Score float64
+	// Accepted reports whether the window was attributed to the user.
+	Accepted bool
+}
+
+// Authenticate asks the server to classify one feature window with the
+// user's current model — the cloud-side check for services that outsource
+// the testing module. The server answers even while its training queue is
+// saturated.
+func (c *Client) Authenticate(userID string, sample features.WindowSample) (AuthDecision, error) {
+	var resp authResponse
+	err := c.roundTrip(TypeAuthenticate, authRequest{UserID: userID, Sample: sample}, &resp)
+	if err != nil {
+		return AuthDecision{}, err
+	}
+	return AuthDecision(resp), nil
+}
+
 // Stats fetches the server's population-store summary.
 func (c *Client) Stats() (users, windows int, err error) {
 	var resp statsResponse

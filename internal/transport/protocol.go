@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // Message types exchanged between phone and Authentication Server.
@@ -38,8 +39,17 @@ const (
 	TypeFetchModel = "fetch-model"
 	// TypeStats asks the server for its population statistics.
 	TypeStats = "stats"
+	// TypeAuthenticate asks the server to classify one feature window with
+	// the user's current model — the cloud-side check used by services that
+	// outsource the testing module (Section IV-B). Served inline, never
+	// queued behind training.
+	TypeAuthenticate = "authenticate"
 	// TypeOK is a generic success response.
 	TypeOK = "ok"
+	// TypeBusy reports that the server's training queue is full; the client
+	// should retry after the indicated delay. Only training requests are
+	// ever answered with TypeBusy.
+	TypeBusy = "busy"
 	// TypeError carries a server-side failure.
 	TypeError = "error"
 )
@@ -153,6 +163,12 @@ type errorPayload struct {
 	Message string `json:"message"`
 }
 
+// busyPayload is the body of a TypeBusy response.
+type busyPayload struct {
+	Message           string  `json:"message"`
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
+}
+
 // RemoteError is a server-reported failure surfaced to the client.
 type RemoteError struct {
 	Message string
@@ -161,4 +177,18 @@ type RemoteError struct {
 // Error implements error.
 func (e *RemoteError) Error() string {
 	return "transport: server error: " + e.Message
+}
+
+// BusyError reports that the server refused a training request because its
+// worker queue was full. RetryAfter is the server's suggested backoff.
+// Check for it with errors.As; the request was never started, so retrying
+// is always safe.
+type BusyError struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("transport: server busy (retry after %s): %s", e.RetryAfter, e.Message)
 }

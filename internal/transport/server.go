@@ -59,6 +59,21 @@ type fetchModelResponse struct {
 	Bundle  *core.ModelBundle `json:"bundle"`
 }
 
+// authRequest asks the server to classify one feature window with the
+// user's current authentication model.
+type authRequest struct {
+	UserID string                `json:"user_id"`
+	Sample features.WindowSample `json:"sample"`
+}
+
+// authResponse carries the server-side authentication decision.
+type authResponse struct {
+	Context           string  `json:"context"`
+	ContextConfidence float64 `json:"context_confidence"`
+	Score             float64 `json:"score"`
+	Accepted          bool    `json:"accepted"`
+}
+
 // ServerStats reports the server's population store and, when the server
 // runs with durable storage, its persistence state.
 type ServerStats struct {
@@ -77,6 +92,22 @@ type ServerStats struct {
 	// Shards reports the durable store's per-shard record counts when it
 	// is sharded; its length is the shard count.
 	Shards []ShardStats `json:"shards,omitempty"`
+	// Train reports the training worker pool's state.
+	Train TrainPoolStats `json:"train"`
+}
+
+// TrainPoolStats is a snapshot of the training worker pool.
+type TrainPoolStats struct {
+	// Workers is the pool size; QueueDepth the queue's capacity.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// InFlight is jobs currently training; Queued is jobs waiting.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Rejected counts train requests answered with busy; Completed counts
+	// finished jobs.
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
 }
 
 // ShardStats is one store shard's contribution to the population.
@@ -99,8 +130,11 @@ type Server struct {
 	logf     func(format string, args ...any)
 	persist  *store.Store // nil: in-memory only
 
-	mu    sync.Mutex
-	store map[string][]features.WindowSample // anonymized user id -> windows
+	mu     sync.Mutex
+	store  map[string][]features.WindowSample // anonymized user id -> windows
+	models map[string]*core.ModelBundle       // anonymized user id -> last trained bundle
+
+	pool *workerPool
 
 	wg       sync.WaitGroup
 	listener net.Listener
@@ -124,6 +158,13 @@ type ServerConfig struct {
 	// retains ownership and must Close the store after Close-ing the
 	// server.
 	Store *store.Store
+	// TrainWorkers bounds concurrent training jobs; 0 means GOMAXPROCS.
+	TrainWorkers int
+	// TrainQueueDepth bounds training jobs waiting for a worker; 0 means
+	// twice the worker count. When the queue is full, additional train
+	// requests are answered with a busy response instead of queuing
+	// unboundedly.
+	TrainQueueDepth int
 }
 
 // NewServer builds a server (not yet listening).
@@ -144,6 +185,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		logf:     logf,
 		persist:  cfg.Store,
 		store:    make(map[string][]features.WindowSample),
+		models:   make(map[string]*core.ModelBundle),
 		closed:   make(chan struct{}),
 	}
 	if s.persist != nil {
@@ -153,6 +195,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			s.store[anon] = samples
 		}
 	}
+	s.pool = newWorkerPool(cfg.TrainWorkers, cfg.TrainQueueDepth, s.runTrainJob)
 	return s, nil
 }
 
@@ -231,7 +274,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener, waits for in-flight connections, then drains
+// the training pool. Connections waiting on queued train jobs finish
+// before wg.Wait returns, so the pool is idle by the time it is closed.
 func (s *Server) Close() error {
 	close(s.closed)
 	var err error
@@ -239,6 +284,7 @@ func (s *Server) Close() error {
 		err = s.listener.Close()
 	}
 	s.wg.Wait()
+	s.pool.close()
 	return err
 }
 
@@ -316,18 +362,33 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		if err := env.Open(s.key, &req); err != nil {
 			return fail(err)
 		}
-		bundle, err := s.train(req)
+		// Training is the one CPU-heavy request; it runs on the bounded
+		// worker pool. A full queue fails fast with TypeBusy so a burst of
+		// retraining phones degrades into retries, not an overloaded host.
+		job := trainJob{req: req, done: make(chan trainResult, 1)}
+		if !s.pool.trySubmit(job) {
+			s.logf("train %s: queue full, rejecting", req.UserID)
+			return respond(TypeBusy, busyPayload{
+				Message:           "training queue is full",
+				RetryAfterSeconds: 1,
+			})
+		}
+		res := <-job.done
+		if res.err != nil {
+			return fail(res.err)
+		}
+		return respond(TypeOK, trainResponse{Bundle: res.bundle, Version: res.version})
+
+	case TypeAuthenticate:
+		var req authRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		resp, err := s.authenticate(req)
 		if err != nil {
 			return fail(err)
 		}
-		version := 0
-		if s.persist != nil {
-			version, err = s.persist.PublishModel(anonymize(req.UserID), bundle)
-			if err != nil {
-				return fail(fmt.Errorf("train: publish model: %w", err))
-			}
-		}
-		return respond(TypeOK, trainResponse{Bundle: bundle, Version: version})
+		return respond(TypeOK, resp)
 
 	case TypeFetchModel:
 		var req fetchModelRequest
@@ -366,6 +427,14 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			resp.Windows += len(samples)
 		}
 		s.mu.Unlock()
+		resp.Train = TrainPoolStats{
+			Workers:    s.pool.workers,
+			QueueDepth: cap(s.pool.jobs),
+			InFlight:   int(s.pool.inFlight.Load()),
+			Queued:     s.pool.queued(),
+			Rejected:   s.pool.rejected.Load(),
+			Completed:  s.pool.completed.Load(),
+		}
 		if s.persist != nil {
 			st := s.persist.Stats()
 			resp.Persistent = true
@@ -388,6 +457,69 @@ func (s *Server) dispatch(env Envelope) Envelope {
 	default:
 		return fail(fmt.Errorf("unknown request type %q", env.Type))
 	}
+}
+
+// runTrainJob executes one pooled training job end to end: train, publish
+// to the registry when persistence is on, and cache the bundle for
+// server-side authentication.
+func (s *Server) runTrainJob(job trainJob) trainResult {
+	bundle, err := s.train(job.req)
+	if err != nil {
+		return trainResult{err: err}
+	}
+	anon := anonymize(job.req.UserID)
+	version := 0
+	if s.persist != nil {
+		version, err = s.persist.PublishModel(anon, bundle)
+		if err != nil {
+			return trainResult{err: fmt.Errorf("train: publish model: %w", err)}
+		}
+	}
+	s.mu.Lock()
+	s.models[anon] = bundle
+	s.mu.Unlock()
+	return trainResult{bundle: bundle, version: version}
+}
+
+// authenticate classifies one window with the user's current model: the
+// last bundle this server trained, or the registry's latest when the
+// server restarted since. Runs inline on the connection goroutine — it is
+// microseconds of work and must keep succeeding while the training pool
+// is saturated.
+func (s *Server) authenticate(req authRequest) (authResponse, error) {
+	if req.UserID == "" {
+		return authResponse{}, fmt.Errorf("authenticate: missing user id")
+	}
+	anon := anonymize(req.UserID)
+	s.mu.Lock()
+	bundle := s.models[anon]
+	s.mu.Unlock()
+	if bundle == nil && s.persist != nil {
+		b, _, err := s.persist.LatestModel(anon)
+		if err == nil {
+			bundle = b
+			s.mu.Lock()
+			s.models[anon] = b
+			s.mu.Unlock()
+		}
+	}
+	if bundle == nil {
+		return authResponse{}, fmt.Errorf("authenticate: user %s has no trained model", req.UserID)
+	}
+	auth, err := core.NewAuthenticator(s.detector, bundle)
+	if err != nil {
+		return authResponse{}, fmt.Errorf("authenticate: %w", err)
+	}
+	d, err := auth.Authenticate(req.Sample)
+	if err != nil {
+		return authResponse{}, fmt.Errorf("authenticate: %w", err)
+	}
+	return authResponse{
+		Context:           d.Context.String(),
+		ContextConfidence: d.ContextConfidence,
+		Score:             d.Score,
+		Accepted:          d.Accepted,
+	}, nil
 }
 
 // train runs the training module for one user: positives are the user's

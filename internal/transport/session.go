@@ -35,6 +35,16 @@ func doRequest(conn net.Conn, key []byte, timeout time.Duration, reqType string,
 		}
 		return &RemoteError{Message: ep.Message}
 	}
+	if resp.Type == TypeBusy {
+		var bp busyPayload
+		if err := resp.Open(key, &bp); err != nil {
+			return err
+		}
+		return &BusyError{
+			Message:    bp.Message,
+			RetryAfter: time.Duration(bp.RetryAfterSeconds * float64(time.Second)),
+		}
+	}
 	if resp.Type != TypeOK {
 		return fmt.Errorf("transport: unexpected response type %q", resp.Type)
 	}
@@ -127,6 +137,17 @@ func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error)
 		return nil, fmt.Errorf("transport: server returned no model bundle")
 	}
 	return resp.Bundle, nil
+}
+
+// Authenticate asks the server to classify one feature window with the
+// user's current model on the session connection.
+func (s *Session) Authenticate(userID string, sample features.WindowSample) (AuthDecision, error) {
+	var resp authResponse
+	err := s.roundTrip(TypeAuthenticate, authRequest{UserID: userID, Sample: sample}, &resp)
+	if err != nil {
+		return AuthDecision{}, err
+	}
+	return AuthDecision(resp), nil
 }
 
 // Stats fetches the server's population summary.

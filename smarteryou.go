@@ -252,6 +252,11 @@ type (
 	BluetoothLink = transport.BluetoothLink
 	// AuthServerStats is the server's population and persistence summary.
 	AuthServerStats = transport.ServerStats
+	// BusyError is the typed train-queue-full rejection; errors.As against
+	// it to honour the server's retry hint.
+	BusyError = transport.BusyError
+	// AuthDecision is the server-side authenticate verdict.
+	AuthDecision = transport.AuthDecision
 )
 
 // Durable storage: the server's crash-recoverable population store and
