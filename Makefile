@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-auth race-pool
+.PHONY: check build vet fmt test race fuzz bench bench-auth bench-replication race-pool race-replication
 
-check: build vet fmt race race-pool
+check: build vet fmt race race-pool race-replication
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenWAL -fuzztime=10s ./internal/store/
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeOpen -fuzztime=10s ./internal/transport/
+	$(GO) test -run=Fuzz -fuzz=FuzzReplFrame -fuzztime=10s ./internal/replication/
 
 # Smoke-run the store benchmarks under the race detector: one iteration
 # each, so the hot-path assertions (recovered counts, parallel enroll)
@@ -60,3 +61,15 @@ bench-auth:
 race-pool:
 	$(GO) test -race -run='TestTrainBackpressure|TestTrainPoolConcurrentHammer' ./internal/transport/
 	$(GO) test -race -run='TestPlanConcurrentSharing' ./internal/dsp/
+
+# Replication hammer under the race detector: concurrent enrollments
+# racing a cold follower's catch-up exercise the subscribe-before-scan
+# overlap, the per-connection queues, and the shard-lock notify path.
+# Pinned by name for the same reason as race-pool.
+race-replication:
+	$(GO) test -race -run='TestReplicationHammer|TestFollowerCrashRestartMidStream' ./internal/replication/
+
+# Follower catch-up throughput: a cold follower replaying a seeded
+# leader's log over TCP. Baseline lives in BENCH_store.json.
+bench-replication:
+	$(GO) test -run=xxx -bench=BenchmarkFollowerCatchUp -benchtime=50x ./internal/replication/

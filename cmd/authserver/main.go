@@ -13,10 +13,22 @@
 // -keep-models bounds each user's registry history. Without -data-dir the
 // server is in-memory, exactly as before.
 //
+// Replication turns one durable server into a leader–follower pair:
+//
+//   - The leader adds -replication-addr, a second listener from which
+//     followers stream the store's WAL.
+//   - A follower runs with -replicate-from pointing at that listener. It
+//     serves authenticate, fetch-model, fetch-detector and stats from its
+//     replicated store, and answers enroll/train with a redirect to the
+//     leader. SIGHUP promotes a running follower to leader in place;
+//     -promote starts a former follower's data dir as the new leader.
+//
 // Usage:
 //
 //	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10] \
-//	    [-data-dir /var/lib/smarteryou] [-shards 8] [-keep-models 16]
+//	    [-data-dir /var/lib/smarteryou] [-shards 8] [-keep-models 16] \
+//	    [-replication-addr 127.0.0.1:7700] \
+//	    [-replicate-from 127.0.0.1:7700] [-promote]
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"smarteryou"
 )
@@ -36,14 +49,17 @@ func main() {
 
 func run() int {
 	var (
-		addr         = flag.String("addr", "127.0.0.1:7600", "listen address")
-		key          = flag.String("key", "", "pre-shared HMAC key (required)")
-		seedUsers    = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
-		seed         = flag.Int64("seed", 1, "synthetic data seed")
-		dataDir      = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
-		shards       = flag.Int("shards", 1, "independent WAL+snapshot shards in the durable store (fixed at store creation; reopening uses the on-disk count)")
-		keepModels   = flag.Int("keep-models", 0, "model versions retained per user in the registry (0: unbounded)")
-		trainWorkers = flag.Int("train-workers", 0, "concurrent model-training jobs (0: GOMAXPROCS); excess requests queue up to twice this, then get a busy response")
+		addr            = flag.String("addr", "127.0.0.1:7600", "listen address")
+		key             = flag.String("key", "", "pre-shared HMAC key (required)")
+		seedUsers       = flag.Int("seed-users", 10, "synthetic users to seed the population store and train the context detector")
+		seed            = flag.Int64("seed", 1, "synthetic data seed")
+		dataDir         = flag.String("data-dir", "", "directory for the durable population store and model registry (empty: in-memory only)")
+		shards          = flag.Int("shards", 1, "independent WAL+snapshot shards in the durable store (fixed at store creation; reopening uses the on-disk count)")
+		keepModels      = flag.Int("keep-models", 0, "model versions retained per user in the registry (0: unbounded)")
+		trainWorkers    = flag.Int("train-workers", 0, "concurrent model-training jobs (0: GOMAXPROCS); excess requests queue up to twice this, then get a busy response")
+		replicationAddr = flag.String("replication-addr", "", "additional listener streaming the store's WAL to replication followers (requires -data-dir)")
+		replicateFrom   = flag.String("replicate-from", "", "run as a read-only follower of the leader's replication listener at this address (requires -data-dir)")
+		promote         = flag.Bool("promote", false, "start a former follower's -data-dir as the new leader (the store must not be empty)")
 	)
 	flag.Parse()
 	if *key == "" {
@@ -52,6 +68,14 @@ func run() int {
 	}
 	if *seedUsers < 2 {
 		fmt.Fprintln(os.Stderr, "authserver: -seed-users must be at least 2")
+		return 2
+	}
+	if (*replicationAddr != "" || *replicateFrom != "" || *promote) && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "authserver: replication needs -data-dir (the WAL is the replication log)")
+		return 2
+	}
+	if *replicateFrom != "" && *promote {
+		fmt.Fprintln(os.Stderr, "authserver: -promote and -replicate-from are mutually exclusive (promote takes over as leader)")
 		return 2
 	}
 
@@ -69,6 +93,17 @@ func run() int {
 		st := store.Stats()
 		log.Printf("durable store %s: %d shards, recovered %d users, %d windows, %d model versions (replayed %d wal records, dropped %d torn bytes)",
 			*dataDir, len(st.Shards), st.Users, st.Windows, len(st.ModelVersions), st.Recovery.Replayed, st.Recovery.TruncatedBytes)
+	}
+	if *promote && store.Stats().Users == 0 {
+		log.Printf("-promote: store at %s is empty; nothing to take over", *dataDir)
+		return 1
+	}
+	if *promote {
+		log.Printf("promoting %s: serving as leader with the replicated state", *dataDir)
+	}
+
+	if *replicateFrom != "" {
+		return runFollower(store, *addr, *key, *replicateFrom, *replicationAddr)
 	}
 
 	// A recovered store may already hold the published context detector;
@@ -130,12 +165,36 @@ func run() int {
 		log.Printf("skipping corpus generation: detector and population recovered from store")
 	}
 
+	// The replication leader is created before the server so the stats
+	// provider below reads a stable variable; it starts listening after
+	// the client listener is up.
+	var leader *smarteryou.ReplicationLeader
+	if *replicationAddr != "" {
+		var err error
+		leader, err = smarteryou.NewReplicationLeader(smarteryou.ReplicationLeaderConfig{
+			Store:         store,
+			Key:           []byte(*key),
+			AdvertiseAddr: *addr,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+
 	server, err := smarteryou.NewAuthServer(smarteryou.AuthServerConfig{
 		Key:          []byte(*key),
 		Detector:     detector,
 		Logf:         log.Printf,
 		Store:        store,
 		TrainWorkers: *trainWorkers,
+		ReplicationInfo: func() *smarteryou.ReplicationInfo {
+			if leader == nil {
+				return nil
+			}
+			return replicationInfo(leader.Status())
+		},
 	})
 	if err != nil {
 		log.Print(err)
@@ -154,13 +213,31 @@ func run() int {
 		log.Print(err)
 		return 1
 	}
-	log.Printf("authentication server listening on %s (population: %d users)", bound, *seedUsers)
+	popUsers := *seedUsers
+	if store != nil {
+		popUsers = store.Stats().Users
+	}
+	log.Printf("authentication server listening on %s (population: %d users)", bound, popUsers)
+	if leader != nil {
+		raddr, err := leader.Serve(*replicationAddr)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("replication listener on %s (followers catch up from the WAL)", raddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("shutting down")
 	code := 0
+	if leader != nil {
+		if err := leader.Close(); err != nil {
+			log.Printf("close replication: %v", err)
+			code = 1
+		}
+	}
 	if err := server.Close(); err != nil {
 		log.Printf("close: %v", err)
 		code = 1
@@ -175,4 +252,162 @@ func run() int {
 		log.Printf("durable store flushed")
 	}
 	return code
+}
+
+// runFollower runs the read-only follower mode: replicate the leader's
+// store (including the published context detector), serve reads, redirect
+// writes, and promote to leader on SIGHUP.
+func runFollower(store *smarteryou.PopulationStore, addr, key, leaderAddr, replicationAddr string) int {
+	// First pass without serving: pull the leader's state until the
+	// context detector — which every response path needs — is replicated.
+	boot, err := smarteryou.StartReplicationFollower(smarteryou.ReplicationFollowerConfig{
+		Store:      store,
+		Key:        []byte(key),
+		LeaderAddr: leaderAddr,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	log.Printf("follower of %s: waiting for the replicated context detector...", leaderAddr)
+	var detector *smarteryou.Detector
+	for deadline := time.Now().Add(2 * time.Minute); ; {
+		if det, err := store.LatestDetector(); err == nil {
+			detector = det
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = boot.Close()
+			log.Printf("no context detector replicated from %s after 2m; is the leader seeded?", leaderAddr)
+			return 1
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	// Stop the bootstrap stream so the server's construction-time replay
+	// of the store races nothing; the serving stream below resumes from
+	// the durable cursors.
+	_ = boot.Close()
+	log.Printf("context detector replicated; store at %d users", store.Stats().Users)
+
+	var follower *smarteryou.ReplicationFollower
+	server, err := smarteryou.NewAuthServer(smarteryou.AuthServerConfig{
+		Key:        []byte(key),
+		Detector:   detector,
+		Logf:       log.Printf,
+		Store:      store,
+		Follower:   true,
+		LeaderAddr: leaderAddr,
+		ReplicationInfo: func() *smarteryou.ReplicationInfo {
+			if follower == nil {
+				return nil
+			}
+			return replicationInfo(follower.Status())
+		},
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	follower, err = smarteryou.StartReplicationFollower(smarteryou.ReplicationFollowerConfig{
+		Store:        store,
+		Key:          []byte(key),
+		LeaderAddr:   leaderAddr,
+		Logf:         log.Printf,
+		OnApply:      server.ApplyReplicatedOp,
+		OnSnapshot:   func(int) { server.ReloadFromStore() },
+		OnLeaderAddr: server.SetLeaderAddr,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	bound, err := server.Start(addr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	log.Printf("read-only follower listening on %s (writes redirect to the leader; SIGHUP promotes)", bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	promoted := false
+	var leader *smarteryou.ReplicationLeader
+	for {
+		sig := <-stop
+		if sig != syscall.SIGHUP {
+			break
+		}
+		if promoted {
+			log.Printf("SIGHUP: already promoted")
+			continue
+		}
+		// Promotion: stop replicating, then open writes. The store keeps
+		// the leader-assigned sequence numbers, so new enrollments continue
+		// each shard's sequence space.
+		follower.Promote()
+		server.Promote()
+		promoted = true
+		log.Printf("promoted to leader at %v", store.ShardLastSeqs())
+		if replicationAddr != "" {
+			var err error
+			leader, err = smarteryou.NewReplicationLeader(smarteryou.ReplicationLeaderConfig{
+				Store:         store,
+				Key:           []byte(key),
+				AdvertiseAddr: addr,
+				Logf:          log.Printf,
+			})
+			if err != nil {
+				log.Print(err)
+				continue
+			}
+			raddr, err := leader.Serve(replicationAddr)
+			if err != nil {
+				log.Print(err)
+				leader = nil
+				continue
+			}
+			log.Printf("replication listener on %s", raddr)
+		}
+	}
+	log.Print("shutting down")
+	code := 0
+	if leader != nil {
+		if err := leader.Close(); err != nil {
+			log.Printf("close replication: %v", err)
+			code = 1
+		}
+	}
+	if err := follower.Close(); err != nil {
+		log.Printf("close follower: %v", err)
+		code = 1
+	}
+	if err := server.Close(); err != nil {
+		log.Printf("close: %v", err)
+		code = 1
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("close store: %v", err)
+		code = 1
+	}
+	log.Printf("durable store flushed")
+	return code
+}
+
+// replicationInfo shapes a replication status for the stats response.
+func replicationInfo(st smarteryou.ReplicationStatus) *smarteryou.ReplicationInfo {
+	info := &smarteryou.ReplicationInfo{
+		Role:       st.Role,
+		Connected:  st.Connected,
+		LeaderAddr: st.LeaderAddr,
+		ShardSeqs:  st.ShardSeqs,
+	}
+	for _, f := range st.Followers {
+		info.Followers = append(info.Followers, smarteryou.ReplicationFollowerInfo{
+			Addr:  f.Addr,
+			Acked: f.Acked,
+			Lag:   f.Lag,
+		})
+	}
+	return info
 }

@@ -1,0 +1,69 @@
+package replication
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"smarteryou/internal/store"
+)
+
+// BenchmarkFollowerCatchUp measures a cold follower converging on a
+// seeded leader over the record-replay path: dial, handshake, replay the
+// on-disk log, ack. Each iteration starts from an empty store, so the
+// reported time is a full catch-up; the custom windows/sec metric is the
+// headline recorded in BENCH_store.json.
+func BenchmarkFollowerCatchUp(b *testing.B) {
+	const enrolls, windowsPer = 64, 16
+	leaderStore, err := store.Open(b.TempDir(), store.Options{SnapshotEvery: -1, NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = leaderStore.Close() }()
+	for i := 0; i < enrolls; i++ {
+		user := []string{"anon-b0", "anon-b1", "anon-b2", "anon-b3"}[i%4]
+		if err := leaderStore.Enroll(user, fakeSamples(user, windowsPer, float64(i)), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	leader, err := NewLeader(LeaderConfig{Store: leaderStore, Key: testKey})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := leader.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = leader.Close() }()
+	want := leaderStore.ShardLastSeqs()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		followerStore, err := store.Open(b.TempDir(), store.Options{SnapshotEvery: -1, NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		follower, err := StartFollower(FollowerConfig{
+			Store:      followerStore,
+			Key:        testKey,
+			LeaderAddr: addr.String(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for !reflect.DeepEqual(followerStore.ShardLastSeqs(), want) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		b.StopTimer()
+		if err := follower.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := followerStore.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	totalWindows := float64(enrolls * windowsPer)
+	b.ReportMetric(totalWindows*float64(b.N)/b.Elapsed().Seconds(), "windows/sec")
+}

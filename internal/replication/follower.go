@@ -1,0 +1,283 @@
+package replication
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smarteryou/internal/store"
+)
+
+// FollowerConfig configures the follower side of replication.
+type FollowerConfig struct {
+	// Store is the follower's local store; required. It must have the
+	// same shard count as the leader's.
+	Store *store.Store
+	// Key is the pre-shared HMAC key; required.
+	Key []byte
+	// LeaderAddr is the leader's replication listener address; required.
+	LeaderAddr string
+	// Logf receives follower logs; nil discards them.
+	Logf func(format string, args ...any)
+	// OnApply, when set, observes every replicated operation after it is
+	// durable locally — the read-only server uses it to keep caches in
+	// step. Called from the replication goroutine.
+	OnApply func(op store.ReplicatedOp)
+	// OnSnapshot, when set, observes each installed shard snapshot (the
+	// shard's state was wholesale replaced, not incrementally mutated).
+	OnSnapshot func(shard int)
+	// OnLeaderAddr, when set, receives the leader's advertised
+	// client-facing address from each welcome frame.
+	OnLeaderAddr func(addr string)
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RedialDelay spaces reconnection attempts (default 250ms).
+	RedialDelay time.Duration
+}
+
+// Follower maintains a replication stream from a leader, applying
+// records into the local store and reconnecting on any failure. Create
+// with StartFollower; stop with Close or hand the store over with
+// Promote.
+type Follower struct {
+	cfg  FollowerConfig
+	logf func(format string, args ...any)
+
+	connected atomic.Bool
+	promoted  atomic.Bool
+
+	mu         sync.Mutex
+	conn       net.Conn
+	leaderAddr string
+	stopped    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartFollower validates the config and starts the replication loop.
+func StartFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("replication: follower needs a store")
+	}
+	if len(cfg.Key) == 0 {
+		return nil, fmt.Errorf("replication: follower needs an HMAC key")
+	}
+	if cfg.LeaderAddr == "" {
+		return nil, fmt.Errorf("replication: follower needs a leader address")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = defaultDialTimeout
+	}
+	if cfg.RedialDelay <= 0 {
+		cfg.RedialDelay = defaultRedialDelay
+	}
+	f := &Follower{cfg: cfg, logf: cfg.Logf, done: make(chan struct{})}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.run()
+	}()
+	return f, nil
+}
+
+// Close stops the replication loop and closes the stream. The store is
+// left open for the caller.
+func (f *Follower) Close() error {
+	f.stop()
+	f.wg.Wait()
+	return nil
+}
+
+// Promote stops replicating and marks this endpoint a leader: the store
+// keeps the leader-assigned sequence numbers, so new local writes
+// continue each shard's sequence space monotonically.
+func (f *Follower) Promote() {
+	f.promoted.Store(true)
+	f.stop()
+	f.wg.Wait()
+}
+
+// stop shuts the loop down idempotently.
+func (f *Follower) stop() {
+	f.mu.Lock()
+	if !f.stopped {
+		f.stopped = true
+		close(f.done)
+	}
+	if f.conn != nil {
+		_ = f.conn.Close()
+	}
+	f.mu.Unlock()
+}
+
+// Status reports the stream state and the local cursors.
+func (f *Follower) Status() Status {
+	st := Status{
+		Role:      "follower",
+		Connected: f.connected.Load(),
+		ShardSeqs: f.cfg.Store.ShardLastSeqs(),
+	}
+	if f.promoted.Load() {
+		st.Role = "leader"
+		st.Connected = false
+	}
+	f.mu.Lock()
+	st.LeaderAddr = f.leaderAddr
+	f.mu.Unlock()
+	return st
+}
+
+// run dials, streams, and redials until stopped.
+func (f *Follower) run() {
+	for {
+		select {
+		case <-f.done:
+			return
+		default:
+		}
+		if err := f.session(); err != nil {
+			select {
+			case <-f.done:
+				return
+			default:
+				f.logf("replication follower: %v (reconnecting in %v)", err, f.cfg.RedialDelay)
+			}
+		}
+		select {
+		case <-f.done:
+			return
+		case <-time.After(f.cfg.RedialDelay):
+		}
+	}
+}
+
+// session runs one connection lifetime: handshake, then apply frames
+// until an error. Every return path leaves the durable cursors intact,
+// so the next session resumes exactly where this one stopped.
+func (f *Follower) session() (err error) {
+	conn, err := net.DialTimeout("tcp", f.cfg.LeaderAddr, f.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", f.cfg.LeaderAddr, err)
+	}
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	f.conn = conn
+	f.mu.Unlock()
+	defer func() {
+		f.connected.Store(false)
+		f.mu.Lock()
+		f.conn = nil
+		f.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	st := f.cfg.Store
+	cursors := st.ShardLastSeqs()
+	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeWireFrame(conn, encodeHello(helloFrame{version: 1, seqs: cursors}, f.cfg.Key)); err != nil {
+		return fmt.Errorf("send hello: %w", err)
+	}
+	payload, err := readWireFrame(conn)
+	if err != nil {
+		return fmt.Errorf("read welcome: %w", err)
+	}
+	if payload[0] == frameError {
+		msg, _ := decodeErrorFrame(payload)
+		return fmt.Errorf("leader refused: %s", msg)
+	}
+	welcome, err := decodeWelcome(payload, f.cfg.Key)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	if err := checkShardCounts(st.ShardCount(), len(welcome.seqs)); err != nil {
+		return err
+	}
+	if welcome.clientAddr != "" {
+		f.mu.Lock()
+		f.leaderAddr = welcome.clientAddr
+		f.mu.Unlock()
+		if f.cfg.OnLeaderAddr != nil {
+			f.cfg.OnLeaderAddr(welcome.clientAddr)
+		}
+	}
+	f.connected.Store(true)
+	f.logf("replication follower: connected to %s at cursors %v (leader at %v)",
+		f.cfg.LeaderAddr, cursors, welcome.seqs)
+
+	// Partial snapshot bytes per shard while chunks stream in.
+	pending := make(map[int][]byte)
+	for {
+		payload, err := readWireFrame(conn)
+		if err != nil {
+			return fmt.Errorf("read frame: %w", err)
+		}
+		switch payload[0] {
+		case frameRecord:
+			rf, err := decodeRecordFrame(payload)
+			if err != nil {
+				return err
+			}
+			if rf.shard < 0 || rf.shard >= len(cursors) {
+				return fmt.Errorf("record for shard %d of %d", rf.shard, len(cursors))
+			}
+			op, applied, err := st.ApplyReplicated(rf.shard, rf.payload)
+			if err != nil {
+				return fmt.Errorf("apply shard %d: %w", rf.shard, err)
+			}
+			if applied {
+				cursors[rf.shard] = op.Seq
+				if f.cfg.OnApply != nil {
+					f.cfg.OnApply(op)
+				}
+			}
+			// Ack the durable cursor either way: a duplicate means the
+			// leader replayed overlap we already hold.
+			if err := writeWireFrame(conn, encodeAck(ackFrame{shard: rf.shard, seq: cursors[rf.shard]})); err != nil {
+				return fmt.Errorf("send ack: %w", err)
+			}
+		case frameSnapshot:
+			chunk, err := decodeSnapshotChunk(payload)
+			if err != nil {
+				return err
+			}
+			if chunk.shard < 0 || chunk.shard >= len(cursors) {
+				return fmt.Errorf("snapshot for shard %d of %d", chunk.shard, len(cursors))
+			}
+			pending[chunk.shard] = append(pending[chunk.shard], chunk.data...)
+			if !chunk.last {
+				continue
+			}
+			data := pending[chunk.shard]
+			delete(pending, chunk.shard)
+			lastSeq, err := st.InstallShardSnapshot(chunk.shard, data)
+			if err != nil {
+				return fmt.Errorf("install shard %d snapshot: %w", chunk.shard, err)
+			}
+			cursors[chunk.shard] = lastSeq
+			f.logf("replication follower: installed shard %d snapshot (%d bytes) at seq %d",
+				chunk.shard, len(data), lastSeq)
+			if f.cfg.OnSnapshot != nil {
+				f.cfg.OnSnapshot(chunk.shard)
+			}
+			if err := writeWireFrame(conn, encodeAck(ackFrame{shard: chunk.shard, seq: lastSeq})); err != nil {
+				return fmt.Errorf("send ack: %w", err)
+			}
+		case frameError:
+			msg, _ := decodeErrorFrame(payload)
+			return fmt.Errorf("leader error: %s", msg)
+		default:
+			return fmt.Errorf("unexpected frame type %#x", payload[0])
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"smarteryou/internal/store"
+)
+
+// LeaderConfig configures the leader side of replication.
+type LeaderConfig struct {
+	// Store is the leader's durable store; required.
+	Store *store.Store
+	// Key is the pre-shared HMAC key followers must present; required.
+	Key []byte
+	// AdvertiseAddr is the leader's client-facing address, sent to
+	// followers so their read-only servers can redirect writes here.
+	AdvertiseAddr string
+	// Logf receives leader logs; nil discards them.
+	Logf func(format string, args ...any)
+	// QueueDepth bounds each follower's live-record queue (default
+	// 8192); a follower that falls further behind than the queue holds
+	// is disconnected and catches up on reconnect.
+	QueueDepth int
+}
+
+// Leader streams the store's WAL to connected followers. Create with
+// NewLeader, start with Serve, stop with Close.
+type Leader struct {
+	st    *store.Store
+	key   []byte
+	adv   string
+	logf  func(format string, args ...any)
+	depth int
+
+	mu    sync.Mutex
+	conns map[*leaderConn]struct{}
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// outRec is one live record queued for a follower.
+type outRec struct {
+	shard   int
+	seq     uint64
+	payload []byte
+}
+
+// leaderConn is the leader's state for one connected follower.
+type leaderConn struct {
+	conn net.Conn
+	out  chan outRec
+	// dead is closed when the connection must be torn down (queue
+	// overflow, read error, leader shutdown).
+	dead     chan struct{}
+	deadOnce sync.Once
+
+	mu    sync.Mutex
+	acked []uint64
+}
+
+// markDead tears the connection down exactly once; the blocked writer
+// and reader unblock via the closed socket.
+func (fc *leaderConn) markDead() {
+	fc.deadOnce.Do(func() {
+		close(fc.dead)
+		_ = fc.conn.Close()
+	})
+}
+
+// push enqueues a live record without blocking: the sink runs under a
+// store shard's lock, so a slow follower must never stall an enroll.
+func (fc *leaderConn) push(shard int, seq uint64, payload []byte) {
+	select {
+	case fc.out <- outRec{shard: shard, seq: seq, payload: payload}:
+	case <-fc.dead:
+	default:
+		// Queue overflow: this follower is too far behind to tail live.
+		// Drop the connection; it will reconnect and catch up from the
+		// log (or a snapshot).
+		fc.markDead()
+	}
+}
+
+// NewLeader builds a leader over an open store.
+func NewLeader(cfg LeaderConfig) (*Leader, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("replication: leader needs a store")
+	}
+	if len(cfg.Key) == 0 {
+		return nil, fmt.Errorf("replication: leader needs an HMAC key")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	return &Leader{
+		st:     cfg.Store,
+		key:    cfg.Key,
+		adv:    cfg.AdvertiseAddr,
+		logf:   logf,
+		depth:  depth,
+		conns:  make(map[*leaderConn]struct{}),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Serve starts the replication listener on addr (e.g. "127.0.0.1:0")
+// and accepts followers until Close. It returns the bound address.
+func (l *Leader) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replication: listen: %w", err)
+	}
+	l.ln = ln
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-l.closed:
+				default:
+					l.logf("replication accept: %v", err)
+				}
+				return
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				l.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and tears down every follower stream.
+func (l *Leader) Close() error {
+	close(l.closed)
+	var err error
+	if l.ln != nil {
+		err = l.ln.Close()
+	}
+	l.mu.Lock()
+	for fc := range l.conns {
+		fc.markDead()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+// Status reports the leader's cursors and each follower's progress.
+func (l *Leader) Status() Status {
+	lead := l.st.ShardLastSeqs()
+	st := Status{Role: "leader", ShardSeqs: lead}
+	l.mu.Lock()
+	for fc := range l.conns {
+		fc.mu.Lock()
+		acked := append([]uint64(nil), fc.acked...)
+		fc.mu.Unlock()
+		st.Followers = append(st.Followers, FollowerProgress{
+			Addr:  fc.conn.RemoteAddr().String(),
+			Acked: acked,
+			Lag:   lagBetween(lead, acked),
+		})
+	}
+	l.mu.Unlock()
+	return st
+}
+
+// handle runs one follower session: handshake, catch-up, live tail.
+func (l *Leader) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	remote := conn.RemoteAddr().String()
+
+	_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	payload, err := readWireFrame(conn)
+	if err != nil {
+		l.logf("replication %s: read hello: %v", remote, err)
+		return
+	}
+	hello, err := decodeHello(payload, l.key)
+	if err != nil {
+		l.logf("replication %s: %v", remote, err)
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	shards := l.st.ShardCount()
+	if err := checkShardCounts(shards, len(hello.seqs)); err != nil {
+		l.logf("replication %s: %v", remote, err)
+		_ = writeWireFrame(conn, encodeErrorFrame(err.Error()))
+		return
+	}
+
+	fc := &leaderConn{
+		conn:  conn,
+		out:   make(chan outRec, l.depth),
+		dead:  make(chan struct{}),
+		acked: append([]uint64(nil), hello.seqs...),
+	}
+	l.mu.Lock()
+	l.conns[fc] = struct{}{}
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, fc)
+		l.mu.Unlock()
+	}()
+
+	// Subscribe before reading cursors: anything appended from here on
+	// is queued, so the disk catch-up below plus the queue covers the
+	// whole log with overlap (deduplicated by sequence number), never a
+	// gap.
+	cancel := l.st.SubscribeReplication(fc.push)
+	defer cancel()
+
+	if err := writeWireFrame(conn, encodeWelcome(welcomeFrame{
+		version:    1,
+		clientAddr: l.adv,
+		seqs:       l.st.ShardLastSeqs(),
+	}, l.key)); err != nil {
+		l.logf("replication %s: write welcome: %v", remote, err)
+		return
+	}
+
+	// Reader side: acknowledgements drive the lag accounting.
+	go func() {
+		defer fc.markDead()
+		for {
+			payload, err := readWireFrame(conn)
+			if err != nil {
+				return
+			}
+			ack, err := decodeAck(payload)
+			if err != nil || ack.shard < 0 || ack.shard >= shards {
+				l.logf("replication %s: bad ack: %v", remote, err)
+				return
+			}
+			fc.mu.Lock()
+			if ack.seq > fc.acked[ack.shard] {
+				fc.acked[ack.shard] = ack.seq
+			}
+			fc.mu.Unlock()
+		}
+	}()
+
+	sent := append([]uint64(nil), hello.seqs...)
+	if err := l.catchUp(fc, sent); err != nil {
+		l.logf("replication %s: catch-up: %v", remote, err)
+		fc.markDead()
+		return
+	}
+	l.logf("replication %s: follower caught up to %v, tailing", remote, sent)
+	l.stream(fc, sent)
+}
+
+// catchUp brings one follower to the leader's durable state per shard:
+// log records when they are still on disk, a streamed snapshot when they
+// were compacted away. sent is updated to the cursor reached per shard.
+func (l *Leader) catchUp(fc *leaderConn, sent []uint64) error {
+	for shard := range sent {
+		for attempt := 0; ; attempt++ {
+			recs, err := l.st.ShardRecordsSince(shard, sent[shard])
+			if err == nil {
+				for _, r := range recs {
+					if err := writeWireFrame(fc.conn, encodeRecordFrame(recordFrame{shard: shard, payload: r.Payload})); err != nil {
+						return err
+					}
+					sent[shard] = r.Seq
+				}
+				break
+			}
+			if !errors.Is(err, store.ErrCompacted) || attempt >= 3 {
+				return err
+			}
+			// The follower's cursor predates the oldest log record: ship
+			// the shard's snapshot (copy-on-write view; appends continue)
+			// and retry the log tail from the snapshot's cursor.
+			data, lastSeq, err := l.st.ShardSnapshotBytes(shard)
+			if err != nil {
+				return err
+			}
+			if lastSeq <= sent[shard] {
+				return fmt.Errorf("replication: shard %d snapshot at %d does not cover cursor %d", shard, lastSeq, sent[shard])
+			}
+			if err := l.sendSnapshot(fc, shard, lastSeq, data); err != nil {
+				return err
+			}
+			sent[shard] = lastSeq
+		}
+	}
+	return nil
+}
+
+// sendSnapshot streams one shard snapshot in bounded chunks.
+func (l *Leader) sendSnapshot(fc *leaderConn, shard int, lastSeq uint64, data []byte) error {
+	for off := 0; ; off += snapshotChunkBytes {
+		end := off + snapshotChunkBytes
+		last := end >= len(data)
+		if last {
+			end = len(data)
+		}
+		chunk := snapshotChunk{shard: shard, last: last, data: data[off:end]}
+		if last {
+			chunk.lastSeq = lastSeq
+		}
+		if err := writeWireFrame(fc.conn, encodeSnapshotChunk(chunk)); err != nil {
+			return err
+		}
+		if last {
+			return nil
+		}
+	}
+}
+
+// stream forwards live records until the connection dies or the leader
+// closes. Records at or below the already-sent cursor (duplicates from
+// the catch-up overlap) are skipped.
+func (l *Leader) stream(fc *leaderConn, sent []uint64) {
+	for {
+		select {
+		case r := <-fc.out:
+			if r.seq <= sent[r.shard] {
+				continue
+			}
+			if err := writeWireFrame(fc.conn, encodeRecordFrame(recordFrame{shard: r.shard, payload: r.payload})); err != nil {
+				fc.markDead()
+				return
+			}
+			sent[r.shard] = r.seq
+		case <-fc.dead:
+			return
+		case <-l.closed:
+			fc.markDead()
+			return
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Replication support: the sequence-numbered WAL records that make the
+// store durable (wal.go) double as its replication log. This file exports
+// the leader-side and follower-side halves of that idea without the store
+// knowing anything about networking:
+//
+//   - a leader tails each shard through SubscribeReplication (live
+//     appends, delivered in sequence order under the shard lock) and
+//     ShardRecordsSince (the on-disk backlog since a follower's cursor);
+//   - a follower that has fallen behind a compacted segment bootstraps
+//     from ShardSnapshotBytes — the same copy-on-write view the
+//     background compactor uses, so appends never pause — and installs it
+//     with InstallShardSnapshot;
+//   - ApplyReplicated appends a leader-assigned record into the local
+//     shard WAL first (durable before acknowledged, exactly like a local
+//     enroll) and then applies it in memory, preserving the leader's
+//     sequence numbers so a promoted follower continues the same
+//     per-shard sequence space.
+//
+// The wire protocol that moves these bytes between machines lives in
+// internal/replication; this file is deliberately its only store surface.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smarteryou/internal/features"
+)
+
+// Errors returned by the replication surface.
+var (
+	// ErrCompacted indicates the requested records were already folded
+	// into a snapshot and deleted from the log; the caller must fall back
+	// to snapshot shipping.
+	ErrCompacted = errors.New("store: records compacted into snapshot")
+	// ErrSequenceGap indicates a replicated record skipped ahead of the
+	// shard's next expected sequence number — records were lost in
+	// transit and the stream must restart from the durable cursor.
+	ErrSequenceGap = errors.New("store: replicated record out of sequence")
+)
+
+// Exported WAL operation names, as they appear in ReplicatedOp.Op.
+const (
+	// OpEnroll appends feature windows to a user's population data.
+	OpEnroll = opEnroll
+	// OpReplace discards a user's stored windows and stores the uploaded
+	// ones.
+	OpReplace = opReplace
+	// OpPublish registers a model bundle under a version number.
+	OpPublish = opPublish
+)
+
+// ReplRecord is one replicable WAL record: its shard-local sequence
+// number and the encoded payload (binary codec or legacy JSON — the
+// format byte is the first payload byte either way).
+type ReplRecord struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// ReplicatedOp describes a mutation applied through ApplyReplicated, so
+// a serving layer stacked on the store (the read-only follower server)
+// can keep its own caches in step without re-reading the store.
+type ReplicatedOp struct {
+	Shard int
+	Seq   uint64
+	// Op is one of OpEnroll, OpReplace, OpPublish.
+	Op   string
+	User string
+	// Samples is set for enroll/replace ops.
+	Samples []features.WindowSample
+	// Version is set for publish ops.
+	Version int
+}
+
+// ReplSink receives every durably appended record. It is invoked
+// synchronously under the appending shard's lock — per-shard delivery is
+// therefore in strict sequence order — so implementations must be fast
+// and must never block (hand the record to a queue and return).
+type ReplSink func(shard int, seq uint64, payload []byte)
+
+// ShardCount reports the store's (pinned) shard count.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardLastSeqs reports each shard's last durable sequence number — the
+// replication cursor a follower acknowledges and a leader resumes from.
+func (s *Store) ShardLastSeqs() []uint64 {
+	out := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.nextSeq - 1
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// SubscribeReplication registers a sink for all future durable appends
+// (local mutations and replicated ones alike, so followers can feed
+// their own followers). It returns a cancel function; after cancel
+// returns no further calls are made.
+func (s *Store) SubscribeReplication(sink ReplSink) (cancel func()) {
+	s.replMu.Lock()
+	id := s.replNextID
+	s.replNextID++
+	if s.replSinks == nil {
+		s.replSinks = make(map[uint64]ReplSink)
+	}
+	s.replSinks[id] = sink
+	s.replMu.Unlock()
+	return func() {
+		s.replMu.Lock()
+		delete(s.replSinks, id)
+		s.replMu.Unlock()
+	}
+}
+
+// notifyRepl fans one appended record out to the registered sinks. It
+// runs under the appending shard's mutex, which is what serializes
+// per-shard delivery in sequence order.
+func (s *Store) notifyRepl(shard int, seq uint64, payload []byte) {
+	s.replMu.RLock()
+	for _, sink := range s.replSinks {
+		sink(shard, seq, payload)
+	}
+	s.replMu.RUnlock()
+}
+
+// ShardRecordsSince returns the shard's intact on-disk records with
+// sequence numbers strictly greater than fromSeq, in order. It returns
+// ErrCompacted when records after fromSeq are no longer on disk (they
+// were folded into a snapshot) — the caller should ship a snapshot
+// instead. The scan holds the shard lock; compaction keeps the live log
+// bounded, so the stall is bounded by the compaction cadence, not by the
+// population size.
+func (s *Store) ShardRecordsSince(shard int, fromSeq uint64) ([]ReplRecord, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	return s.shards[shard].recordsSince(fromSeq)
+}
+
+func (s *shard) recordsSince(fromSeq uint64) ([]ReplRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if fromSeq < s.snapBaseSeq {
+		return nil, fmt.Errorf("%w: have records after %d, asked for after %d", ErrCompacted, s.snapBaseSeq, fromSeq)
+	}
+	sealed, _, err := sealedSegments(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []ReplRecord
+	next := fromSeq + 1
+	scan := func(data []byte) error {
+		off := 0
+		for off < len(data) {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil {
+				// Live segments hold only intact records (failed appends
+				// roll back); damage here means the disk changed under us.
+				return fmt.Errorf("store: replication scan: %w", err)
+			}
+			if rec.Seq > fromSeq {
+				if rec.Seq != next {
+					return fmt.Errorf("%w: record %d follows %d", ErrCompacted, rec.Seq, next-1)
+				}
+				payload := append([]byte(nil), data[off+recordHeaderSize:off+n]...)
+				out = append(out, ReplRecord{Seq: rec.Seq, Payload: payload})
+				next = rec.Seq + 1
+			}
+			off += n
+		}
+		return nil
+	}
+	for _, path := range sealed {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: read sealed segment: %w", err)
+		}
+		if err := scan(data); err != nil {
+			return nil, err
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, walFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: read wal: %w", err)
+	}
+	if err := scan(data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ShardSnapshotBytes encodes the shard's current state in the binary
+// snapshot format (codec.go) from a copy-on-write view: the shard lock is
+// held only long enough to shallow-copy the maps, so appends never wait
+// on the encoding. It returns the snapshot bytes and the last sequence
+// number they cover.
+func (s *Store) ShardSnapshotBytes(shard int) ([]byte, uint64, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, 0, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	snap := snapshot{
+		LastSeq: sh.nextSeq - 1,
+		Users:   make(map[string][]features.WindowSample, len(sh.users)),
+		Models:  make(map[string][]ModelVersion, len(sh.models)),
+	}
+	for id, samples := range sh.users {
+		snap.Users[id] = samples
+	}
+	for id, versions := range sh.models {
+		snap.Models[id] = versions
+	}
+	sh.mu.Unlock()
+	return encodeBinarySnapshot(snap), snap.LastSeq, nil
+}
+
+// ApplyReplicated durably appends one leader-assigned record (WAL-first,
+// preserving the embedded sequence number) and applies it in memory. A
+// record at or below the shard's durable cursor is skipped idempotently
+// (applied=false) so an at-least-once stream is safe to replay; a record
+// beyond the next expected sequence number fails with ErrSequenceGap.
+func (s *Store) ApplyReplicated(shard int, payload []byte) (op ReplicatedOp, applied bool, err error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return ReplicatedOp{}, false, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	return s.shards[shard].applyReplicated(shard, payload)
+}
+
+func (s *shard) applyReplicated(idx int, payload []byte) (ReplicatedOp, bool, error) {
+	if len(payload) > MaxRecordBytes {
+		return ReplicatedOp{}, false, fmt.Errorf("store: replicated record of %d bytes exceeds limit", len(payload))
+	}
+	// Validate by framing + decoding through the exact replay decoder, so
+	// a follower never logs bytes it could not recover from.
+	frame := frameRecordPayload(payload)
+	rec, n, err := decodeRecord(frame)
+	if err != nil {
+		return ReplicatedOp{}, false, fmt.Errorf("store: replicated record: %w", err)
+	}
+	if n != len(frame) {
+		return ReplicatedOp{}, false, fmt.Errorf("store: replicated record: %d trailing bytes", len(frame)-n)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ReplicatedOp{}, false, ErrClosed
+	}
+	switch {
+	case rec.Seq < s.nextSeq:
+		// Already durable here (a reconnect replayed the tail): ack, skip.
+		return ReplicatedOp{}, false, nil
+	case rec.Seq > s.nextSeq:
+		return ReplicatedOp{}, false, fmt.Errorf("%w: got %d, expected %d", ErrSequenceGap, rec.Seq, s.nextSeq)
+	}
+	if _, err := s.wal.Write(frame); err != nil {
+		_ = s.wal.Truncate(s.walBytes)
+		_, _ = s.wal.Seek(s.walBytes, io.SeekStart)
+		return ReplicatedOp{}, false, fmt.Errorf("store: append replicated record: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.wal.Sync(); err != nil {
+			return ReplicatedOp{}, false, fmt.Errorf("store: sync wal: %w", err)
+		}
+	}
+	s.walBytes += int64(len(frame))
+	s.nextSeq++
+	s.sinceSnapshot++
+	s.apply(rec)
+	if s.notify != nil {
+		s.notify(idx, rec.Seq, payload)
+	}
+	s.maybeCompactLocked()
+	return ReplicatedOp{
+		Shard:   idx,
+		Seq:     rec.Seq,
+		Op:      rec.Op,
+		User:    rec.User,
+		Samples: rec.Samples,
+		Version: rec.Version,
+	}, true, nil
+}
+
+// frameRecordPayload wraps an already-encoded record payload in the WAL
+// length+CRC header (the inverse of what ShardRecordsSince strips).
+func frameRecordPayload(payload []byte) []byte {
+	return frameHeader(payload)
+}
+
+// InstallShardSnapshot atomically replaces a shard's entire state with a
+// shipped snapshot: the snapshot is decoded and published to disk, the
+// shard's log is reset, and the in-memory state and sequence cursor jump
+// to the snapshot's. The shard must not be ahead of the snapshot —
+// installing would silently roll back durable records.
+func (s *Store) InstallShardSnapshot(shard int, data []byte) (lastSeq uint64, err error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	return s.shards[shard].installSnapshot(data)
+}
+
+func (s *shard) installSnapshot(data []byte) (uint64, error) {
+	snap, err := decodeBinarySnapshot(data)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if snap.LastSeq < s.nextSeq-1 {
+		return 0, fmt.Errorf("store: snapshot at seq %d behind shard at %d", snap.LastSeq, s.nextSeq-1)
+	}
+	// Wait out any in-flight compaction so its (older) snapshot cannot
+	// land after ours.
+	if err := s.drainLocked(); err != nil {
+		return 0, fmt.Errorf("store: drain before snapshot install: %w", err)
+	}
+	if err := writeSnapshot(s.dir, snap); err != nil {
+		return 0, err
+	}
+	// Every sealed segment and the active log predate the snapshot.
+	sealed, _, err := sealedSegments(s.dir)
+	if err == nil {
+		for _, p := range sealed {
+			_ = os.Remove(p)
+		}
+	}
+	s.orphanSealed = nil
+	s.sealedBytes = 0
+	if err := s.wal.Truncate(0); err != nil {
+		return 0, fmt.Errorf("store: reset wal after snapshot install: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: rewind wal after snapshot install: %w", err)
+	}
+	s.walBytes = 0
+	s.sinceSnapshot = 0
+	s.users = make(map[string][]features.WindowSample, len(snap.Users))
+	for id, samples := range snap.Users {
+		s.users[id] = samples
+	}
+	s.models = make(map[string][]ModelVersion, len(snap.Models))
+	for id, versions := range snap.Models {
+		s.models[id] = s.trimVersions(versions)
+	}
+	s.nextSeq = snap.LastSeq + 1
+	s.snapBaseSeq = snap.LastSeq
+	s.hasSnapshot = true
+	s.snapshotTime = time.Now()
+	return snap.LastSeq, nil
+}

@@ -52,6 +52,11 @@ type compactJob struct {
 type shard struct {
 	dir string
 	opt Options
+	// idx is the shard's index in its parent store; notify, when set,
+	// receives every durable append (the replication fan-out). Both are
+	// fixed before the store is handed to any caller.
+	idx    int
+	notify func(shard int, seq uint64, payload []byte)
 
 	mu   sync.Mutex
 	cond *sync.Cond // pending/compacting/closing transitions
@@ -61,7 +66,11 @@ type shard struct {
 	sealedBytes int64    // bytes across sealed, not-yet-compacted segments
 	sealCounter uint64   // next sealed segment index
 
-	nextSeq       uint64
+	nextSeq uint64
+	// snapBaseSeq is the last sequence number covered by the published
+	// snapshot; records at or below it are no longer on disk as log
+	// records. The replication catch-up reader compares cursors to it.
+	snapBaseSeq   uint64
 	sinceSnapshot int
 	snapshotTime  time.Time
 	hasSnapshot   bool
@@ -101,6 +110,7 @@ func openShard(dir string, opt Options) (*shard, error) {
 	lastSeq := uint64(0)
 	if ok {
 		lastSeq = snap.LastSeq
+		s.snapBaseSeq = snap.LastSeq
 		s.hasSnapshot = true
 		s.snapshotTime = mtime
 		for id, samples := range snap.Users {
@@ -264,27 +274,28 @@ func (s *shard) trimVersions(vs []ModelVersion) []ModelVersion {
 }
 
 // append logs one record (WAL-first: the caller applies it in memory only
-// after this succeeds). A failed write rolls the file back to the last
+// after this succeeds) and returns the record's encoded payload for the
+// replication fan-out. A failed write rolls the file back to the last
 // record boundary so the in-process log never carries a torn prefix.
-func (s *shard) append(rec walRecord) error {
+func (s *shard) append(rec walRecord) ([]byte, error) {
 	buf, err := encodeRecord(rec)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := s.wal.Write(buf); err != nil {
 		_ = s.wal.Truncate(s.walBytes)
 		_, _ = s.wal.Seek(s.walBytes, io.SeekStart)
-		return fmt.Errorf("store: append wal record: %w", err)
+		return nil, fmt.Errorf("store: append wal record: %w", err)
 	}
 	if !s.opt.NoSync {
 		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("store: sync wal: %w", err)
+			return nil, fmt.Errorf("store: sync wal: %w", err)
 		}
 	}
 	s.walBytes += int64(len(buf))
 	s.nextSeq++
 	s.sinceSnapshot++
-	return nil
+	return buf[recordHeaderSize:], nil
 }
 
 func (s *shard) enroll(user string, samples []features.WindowSample, replace bool) error {
@@ -297,10 +308,15 @@ func (s *shard) enroll(user string, samples []features.WindowSample, replace boo
 	if replace {
 		op = opReplace
 	}
-	if err := s.append(walRecord{Seq: s.nextSeq, Op: op, User: user, Samples: samples}); err != nil {
+	seq := s.nextSeq
+	payload, err := s.append(walRecord{Seq: seq, Op: op, User: user, Samples: samples})
+	if err != nil {
 		return err
 	}
 	s.apply(walRecord{Op: op, User: user, Samples: samples})
+	if s.notify != nil {
+		s.notify(s.idx, seq, payload)
+	}
 	s.maybeCompactLocked()
 	return nil
 }
@@ -316,10 +332,14 @@ func (s *shard) publishModel(user string, blob []byte) (int, error) {
 		version = vs[len(vs)-1].Version + 1
 	}
 	rec := walRecord{Seq: s.nextSeq, Op: opPublish, User: user, Version: version, Bundle: blob}
-	if err := s.append(rec); err != nil {
+	payload, err := s.append(rec)
+	if err != nil {
 		return 0, err
 	}
 	s.apply(rec)
+	if s.notify != nil {
+		s.notify(s.idx, rec.Seq, payload)
+	}
 	s.maybeCompactLocked()
 	return version, nil
 }
@@ -421,6 +441,9 @@ func (s *shard) worker() {
 		} else {
 			s.hasSnapshot = true
 			s.snapshotTime = time.Now()
+			if job.lastSeq > s.snapBaseSeq {
+				s.snapBaseSeq = job.lastSeq
+			}
 			for _, p := range job.sealed {
 				if info, statErr := os.Stat(p); statErr == nil {
 					s.sealedBytes -= info.Size()
@@ -492,6 +515,7 @@ func (s *shard) stats() ShardStats {
 		Users:    len(s.users),
 		WALBytes: s.walBytes + s.sealedBytes,
 		Records:  s.nextSeq - 1,
+		LastSeq:  s.nextSeq - 1,
 	}
 	for _, samples := range s.users {
 		st.Windows += len(samples)

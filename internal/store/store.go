@@ -41,6 +41,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"smarteryou/internal/core"
@@ -120,6 +121,11 @@ type ShardStats struct {
 	// Records is the shard's last used sequence number — the total
 	// mutations it has logged.
 	Records uint64
+	// LastSeq is the shard's last durable sequence number: the cursor a
+	// replication follower acknowledges. Numerically equal to Records
+	// today (sequences start at 1 and never skip), but exported
+	// separately because it is a protocol cursor, not a size statistic.
+	LastSeq uint64
 }
 
 // Stats summarizes the store for monitoring.
@@ -157,6 +163,11 @@ type Store struct {
 	// migration holds recovery counters from a legacy-layout migration,
 	// folded into Stats so the caller sees the full recovery picture.
 	migration Recovery
+
+	// replMu guards the replication sink registry (replica.go).
+	replMu     sync.RWMutex
+	replSinks  map[uint64]ReplSink
+	replNextID uint64
 }
 
 // Open creates or recovers a store rooted at dir: every shard loads its
@@ -211,6 +222,10 @@ func Open(dir string, opt Options) (*Store, error) {
 			}
 			return nil, fmt.Errorf("store: open shard %d: %w", i, err)
 		}
+		// Wired before the store escapes this function, so no append can
+		// race the assignment.
+		sh.idx = i
+		sh.notify = st.notifyRepl
 		st.shards = append(st.shards, sh)
 	}
 	return st, nil

@@ -74,11 +74,17 @@ func encodeRecord(rec walRecord) ([]byte, error) {
 	if len(payload) > MaxRecordBytes {
 		return nil, fmt.Errorf("store: wal record of %d bytes exceeds limit", len(payload))
 	}
+	return frameHeader(payload), nil
+}
+
+// frameHeader prefixes a record payload with the length+CRC header. The
+// replication path uses it to re-frame shipped payloads byte-identically.
+func frameHeader(payload []byte) []byte {
 	buf := make([]byte, recordHeaderSize+len(payload))
 	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[recordHeaderSize:], payload)
-	return buf, nil
+	return buf
 }
 
 // decodeRecord decodes the first record in b, returning the record and the

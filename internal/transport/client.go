@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -99,16 +100,25 @@ func (c *Client) Train(userID string, p TrainParams) (*core.ModelBundle, error) 
 
 // TrainVersioned is Train plus the registry version the server published
 // the new model under (0 when the server runs without durable storage).
+// A busy response (saturated training pool) is retried once after the
+// server's suggested backoff — busy means the job never started, so the
+// retry cannot double-train.
 func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle, int, error) {
-	var resp trainResponse
-	err := c.roundTrip(TypeTrain, trainRequest{
+	req := trainRequest{
 		UserID:      userID,
 		Mode:        p.Mode,
 		Rho:         p.Rho,
 		MaxPerClass: p.MaxPerClass,
 		TargetFRR:   p.TargetFRR,
 		Seed:        p.Seed,
-	}, &resp)
+	}
+	var resp trainResponse
+	err := c.roundTrip(TypeTrain, req, &resp)
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		time.Sleep(busy.RetryAfter)
+		err = c.roundTrip(TypeTrain, req, &resp)
+	}
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,0 +1,200 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"smarteryou/internal/store"
+)
+
+func TestFollowerRedirectsWritesAndPromotes(t *testing.T) {
+	det, byUser := buildFixture(t)
+
+	// A leader's store provides the replicated state the follower serves.
+	leaderSrv, leaderStore, leaderAddr := startPersistentServer(t, det, t.TempDir())
+	defer func() {
+		_ = leaderSrv.Close()
+		_ = leaderStore.Close()
+	}()
+	leaderClient, err := NewClient(ClientConfig{Addr: leaderAddr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	for _, id := range []string{"user-00", "user-01"} {
+		if _, err := leaderClient.Enroll(id, byUser[id]); err != nil {
+			t.Fatalf("Enroll %s: %v", id, err)
+		}
+	}
+	if _, _, err := leaderClient.TrainVersioned("user-00", TrainParams{Seed: 1}); err != nil {
+		t.Fatalf("TrainVersioned: %v", err)
+	}
+
+	// The follower server runs over a store copied via the replication
+	// surface (the network half is exercised in internal/replication).
+	followerStore, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	defer func() { _ = followerStore.Close() }()
+	for shard := 0; shard < leaderStore.ShardCount(); shard++ {
+		recs, err := leaderStore.ShardRecordsSince(shard, 0)
+		if err != nil {
+			t.Fatalf("ShardRecordsSince: %v", err)
+		}
+		for _, r := range recs {
+			if _, _, err := followerStore.ApplyReplicated(shard, r.Payload); err != nil {
+				t.Fatalf("ApplyReplicated: %v", err)
+			}
+		}
+	}
+
+	followerSrv, err := NewServer(ServerConfig{
+		Key:        testKey,
+		Detector:   det,
+		Store:      followerStore,
+		Follower:   true,
+		LeaderAddr: leaderAddr,
+		ReplicationInfo: func() *ReplicationInfo {
+			return &ReplicationInfo{Role: "follower", Connected: true, LeaderAddr: leaderAddr}
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer follower: %v", err)
+	}
+	addr, err := followerSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() { _ = followerSrv.Close() }()
+	client, err := NewClient(ClientConfig{Addr: addr.String(), Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	// Writes bounce with the leader's address.
+	var redirect *RedirectError
+	if _, err := client.Enroll("user-00", byUser["user-00"][:1]); !errors.As(err, &redirect) {
+		t.Fatalf("follower enroll err = %v, want RedirectError", err)
+	} else if redirect.Leader != leaderAddr {
+		t.Fatalf("redirect leader = %q, want %q", redirect.Leader, leaderAddr)
+	}
+	if _, _, err := client.FetchModel("user-00", 0); err != nil {
+		t.Fatalf("follower fetch-model: %v", err)
+	}
+	if dec, err := client.Authenticate("user-00", byUser["user-00"][0]); err != nil {
+		t.Fatalf("follower authenticate: %v", err)
+	} else if dec.Context == "" {
+		t.Fatalf("follower authenticate returned empty decision")
+	}
+	stats, err := client.FullStats()
+	if err != nil {
+		t.Fatalf("follower stats: %v", err)
+	}
+	if stats.Replication == nil || stats.Replication.Role != "follower" {
+		t.Fatalf("stats replication = %+v, want follower role", stats.Replication)
+	}
+	if len(stats.Shards) == 0 {
+		t.Fatalf("follower stats missing shards")
+	}
+	var total uint64
+	for _, sh := range stats.Shards {
+		total += sh.LastSeq
+	}
+	if total == 0 {
+		t.Fatalf("follower stats report zero sequence cursors: %+v", stats.Shards)
+	}
+
+	// Train must redirect too: the training pool belongs to the leader.
+	if _, _, err := client.TrainVersioned("user-00", TrainParams{Seed: 1}); !errors.As(err, &redirect) {
+		t.Fatalf("follower train err = %v, want RedirectError", err)
+	}
+
+	// After promotion the same server accepts writes.
+	followerSrv.Promote()
+	if _, err := client.Enroll("user-00", byUser["user-00"][:1]); err != nil {
+		t.Fatalf("promoted enroll: %v", err)
+	}
+}
+
+func TestTrainVersionedRetriesBusyOnce(t *testing.T) {
+	det, byUser := buildFixture(t)
+
+	block := make(chan struct{})
+	trainTestHook = func(trainRequest) { <-block }
+	defer func() { trainTestHook = nil }()
+
+	srv, err := NewServer(ServerConfig{
+		Key:             testKey,
+		Detector:        det,
+		TrainWorkers:    1,
+		TrainQueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	srv.SeedPopulation(byUser)
+
+	client, err := NewClient(ClientConfig{Addr: addr.String(), Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+
+	// Saturate the pool: one job training (held by the hook), one queued.
+	started := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := client.Train("user-01", TrainParams{Seed: 1})
+			started <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		stats, err := client.FullStats()
+		if err != nil {
+			t.Fatalf("FullStats: %v", err)
+		}
+		if stats.Train.InFlight == 1 && stats.Train.Queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never saturated: %+v", stats.Train)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Unblock the workers while the rejected request sleeps out its retry
+	// hint, so the single retry lands on a free pool.
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		close(block)
+	}()
+
+	bundle, _, err := client.TrainVersioned("user-00", TrainParams{Seed: 1})
+	if err != nil {
+		t.Fatalf("TrainVersioned after busy: %v", err)
+	}
+	if bundle == nil {
+		t.Fatalf("TrainVersioned returned nil bundle")
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-started; err != nil {
+			t.Fatalf("background train: %v", err)
+		}
+	}
+
+	stats, err := client.FullStats()
+	if err != nil {
+		t.Fatalf("FullStats: %v", err)
+	}
+	if stats.Train.Rejected == 0 {
+		t.Fatalf("no busy rejection recorded; the retry path never ran")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -50,6 +50,10 @@ const (
 	// should retry after the indicated delay. Only training requests are
 	// ever answered with TypeBusy.
 	TypeBusy = "busy"
+	// TypeRedirect reports that this server is a read-only replication
+	// follower and the write (enroll or train) must go to the leader, whose
+	// client address is carried in the payload.
+	TypeRedirect = "redirect"
 	// TypeError carries a server-side failure.
 	TypeError = "error"
 )
@@ -169,6 +173,14 @@ type busyPayload struct {
 	RetryAfterSeconds float64 `json:"retry_after_seconds"`
 }
 
+// redirectPayload is the body of a TypeRedirect response.
+type redirectPayload struct {
+	Message string `json:"message"`
+	// Leader is the leader's client-facing address ("" when the follower
+	// has not learned it yet).
+	Leader string `json:"leader,omitempty"`
+}
+
 // RemoteError is a server-reported failure surfaced to the client.
 type RemoteError struct {
 	Message string
@@ -191,4 +203,21 @@ type BusyError struct {
 // Error implements error.
 func (e *BusyError) Error() string {
 	return fmt.Sprintf("transport: server busy (retry after %s): %s", e.RetryAfter, e.Message)
+}
+
+// RedirectError reports that the contacted server is a read-only
+// replication follower; writes must go to Leader instead. Check for it
+// with errors.As and re-issue the request against Leader.
+type RedirectError struct {
+	Message string
+	// Leader is the leader's client address, "" if unknown.
+	Leader string
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	if e.Leader == "" {
+		return "transport: read-only follower: " + e.Message
+	}
+	return fmt.Sprintf("transport: read-only follower (leader at %s): %s", e.Leader, e.Message)
 }

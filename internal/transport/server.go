@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
@@ -94,6 +95,32 @@ type ServerStats struct {
 	Shards []ShardStats `json:"shards,omitempty"`
 	// Train reports the training worker pool's state.
 	Train TrainPoolStats `json:"train"`
+	// Replication reports this server's replication role and progress when
+	// it participates in a leader–follower pair.
+	Replication *ReplicationInfo `json:"replication,omitempty"`
+}
+
+// ReplicationInfo is the replication slice of the stats response.
+type ReplicationInfo struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Connected reports, on followers, whether the stream is up.
+	Connected bool `json:"connected,omitempty"`
+	// LeaderAddr is, on followers, the leader's client address.
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	// ShardSeqs is the local store's per-shard durable sequence cursor.
+	ShardSeqs []uint64 `json:"shard_seqs,omitempty"`
+	// Followers reports, on leaders, each connected follower's progress.
+	Followers []ReplicationFollower `json:"followers,omitempty"`
+}
+
+// ReplicationFollower is one follower's progress as seen by the leader.
+type ReplicationFollower struct {
+	Addr string `json:"addr"`
+	// Acked is the follower's last acknowledged sequence per shard.
+	Acked []uint64 `json:"acked"`
+	// Lag is total outstanding records across shards.
+	Lag uint64 `json:"lag"`
 }
 
 // TrainPoolStats is a snapshot of the training worker pool.
@@ -116,6 +143,9 @@ type ShardStats struct {
 	Windows  int    `json:"windows"`
 	WALBytes int64  `json:"wal_bytes"`
 	Records  uint64 `json:"records"`
+	// LastSeq is the shard's last durable sequence number — the
+	// replication cursor.
+	LastSeq uint64 `json:"last_seq"`
 }
 
 // statsResponse is the stats reply payload.
@@ -130,9 +160,15 @@ type Server struct {
 	logf     func(format string, args ...any)
 	persist  *store.Store // nil: in-memory only
 
-	mu     sync.Mutex
-	store  map[string][]features.WindowSample // anonymized user id -> windows
-	models map[string]*core.ModelBundle       // anonymized user id -> last trained bundle
+	mu         sync.Mutex
+	store      map[string][]features.WindowSample // anonymized user id -> windows
+	models     map[string]*core.ModelBundle       // anonymized user id -> last trained bundle
+	leaderAddr string                             // follower mode: leader's client address
+
+	// follower makes the server read-only: enroll and train answer with a
+	// redirect to the leader while authenticate/fetch/stats keep serving.
+	follower atomic.Bool
+	replInfo func() *ReplicationInfo
 
 	pool *workerPool
 
@@ -165,6 +201,18 @@ type ServerConfig struct {
 	// requests are answered with a busy response instead of queuing
 	// unboundedly.
 	TrainQueueDepth int
+	// Follower starts the server read-only: enroll and train requests are
+	// answered with a redirect to LeaderAddr while authenticate,
+	// fetch-model, fetch-detector and stats keep serving from the
+	// replicated store. Promote flips the server to read-write.
+	Follower bool
+	// LeaderAddr is the leader's client-facing address carried in
+	// redirect responses; SetLeaderAddr updates it as the replication
+	// stream learns it.
+	LeaderAddr string
+	// ReplicationInfo, when set, is polled by the stats request to report
+	// this server's replication role and progress.
+	ReplicationInfo func() *ReplicationInfo
 }
 
 // NewServer builds a server (not yet listening).
@@ -180,13 +228,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 	s := &Server{
-		key:      cfg.Key,
-		detector: cfg.Detector,
-		logf:     logf,
-		persist:  cfg.Store,
-		store:    make(map[string][]features.WindowSample),
-		models:   make(map[string]*core.ModelBundle),
-		closed:   make(chan struct{}),
+		key:        cfg.Key,
+		detector:   cfg.Detector,
+		logf:       logf,
+		persist:    cfg.Store,
+		store:      make(map[string][]features.WindowSample),
+		models:     make(map[string]*core.ModelBundle),
+		leaderAddr: cfg.LeaderAddr,
+		replInfo:   cfg.ReplicationInfo,
+		closed:     make(chan struct{}),
+	}
+	if cfg.Follower {
+		if cfg.Store == nil {
+			return nil, fmt.Errorf("transport: a follower server needs a durable store to replicate into")
+		}
+		s.follower.Store(true)
 	}
 	if s.persist != nil {
 		// Replay the recovered population: the persisted identifiers are
@@ -216,6 +272,57 @@ func (s *Server) SeedPopulation(byUser map[string][]features.WindowSample) {
 		}
 		s.store[anon] = append(s.store[anon], anonymized...)
 	}
+}
+
+// Promote flips a follower server to read-write: enroll and train start
+// being served locally. Call it after the replication stream is stopped
+// (Follower.Promote), so the local store is the new authority.
+func (s *Server) Promote() {
+	s.follower.Store(false)
+	s.logf("promoted: now serving writes")
+}
+
+// SetLeaderAddr updates the leader address carried in redirects (the
+// replication stream learns it from the welcome frame).
+func (s *Server) SetLeaderAddr(addr string) {
+	s.mu.Lock()
+	s.leaderAddr = addr
+	s.mu.Unlock()
+}
+
+// ApplyReplicatedOp folds one replicated mutation into the server's
+// serving caches, keeping a follower's reads in step with its store
+// without re-reading it. Wire it to replication.FollowerConfig.OnApply.
+func (s *Server) ApplyReplicatedOp(op store.ReplicatedOp) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op.Op {
+	case store.OpEnroll:
+		s.store[op.User] = append(s.store[op.User], op.Samples...)
+	case store.OpReplace:
+		s.store[op.User] = append([]features.WindowSample(nil), op.Samples...)
+	case store.OpPublish:
+		// The record carries the version, not the bundle; drop the cached
+		// bundle so the next authenticate reloads the registry's latest.
+		delete(s.models, op.User)
+	}
+}
+
+// ReloadFromStore rebuilds the serving caches from the durable store
+// after wholesale state replacement (a replicated snapshot install).
+// Wire it to replication.FollowerConfig.OnSnapshot.
+func (s *Server) ReloadFromStore() {
+	if s.persist == nil {
+		return
+	}
+	pop := s.persist.Population()
+	s.mu.Lock()
+	s.store = make(map[string][]features.WindowSample, len(pop))
+	for anon, samples := range pop {
+		s.store[anon] = samples
+	}
+	s.models = make(map[string]*core.ModelBundle)
+	s.mu.Unlock()
 }
 
 // anonymize maps a user identifier to a stable pseudonym so that one
@@ -322,12 +429,24 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		s.logf("request %s failed: %v", env.Type, err)
 		return respond(TypeError, errorPayload{Message: err.Error()})
 	}
+	redirect := func() Envelope {
+		s.mu.Lock()
+		leader := s.leaderAddr
+		s.mu.Unlock()
+		return respond(TypeRedirect, redirectPayload{
+			Message: fmt.Sprintf("%s requests must go to the leader", env.Type),
+			Leader:  leader,
+		})
+	}
 
 	switch env.Type {
 	case TypeEnroll:
 		var req enrollRequest
 		if err := env.Open(s.key, &req); err != nil {
 			return fail(err)
+		}
+		if s.follower.Load() {
+			return redirect()
 		}
 		if req.UserID == "" {
 			return fail(fmt.Errorf("enroll: missing user id"))
@@ -361,6 +480,9 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		var req trainRequest
 		if err := env.Open(s.key, &req); err != nil {
 			return fail(err)
+		}
+		if s.follower.Load() {
+			return redirect()
 		}
 		// Training is the one CPU-heavy request; it runs on the bounded
 		// worker pool. A full queue fails fast with TypeBusy so a burst of
@@ -449,8 +571,12 @@ func (s *Server) dispatch(env Envelope) Envelope {
 					Windows:  shs.Windows,
 					WALBytes: shs.WALBytes,
 					Records:  shs.Records,
+					LastSeq:  shs.LastSeq,
 				})
 			}
+		}
+		if s.replInfo != nil {
+			resp.Replication = s.replInfo()
 		}
 		return respond(TypeOK, resp)
 

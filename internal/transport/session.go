@@ -45,6 +45,13 @@ func doRequest(conn net.Conn, key []byte, timeout time.Duration, reqType string,
 			RetryAfter: time.Duration(bp.RetryAfterSeconds * float64(time.Second)),
 		}
 	}
+	if resp.Type == TypeRedirect {
+		var rp redirectPayload
+		if err := resp.Open(key, &rp); err != nil {
+			return err
+		}
+		return &RedirectError{Message: rp.Message, Leader: rp.Leader}
+	}
 	if resp.Type != TypeOK {
 		return fmt.Errorf("transport: unexpected response type %q", resp.Type)
 	}

@@ -35,6 +35,7 @@ import (
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
+	"smarteryou/internal/replication"
 	"smarteryou/internal/sensing"
 	"smarteryou/internal/store"
 	"smarteryou/internal/transport"
@@ -255,6 +256,9 @@ type (
 	// BusyError is the typed train-queue-full rejection; errors.As against
 	// it to honour the server's retry hint.
 	BusyError = transport.BusyError
+	// RedirectError is the typed read-only-follower rejection carrying the
+	// leader's client address; errors.As and re-issue the write there.
+	RedirectError = transport.RedirectError
 	// AuthDecision is the server-side authenticate verdict.
 	AuthDecision = transport.AuthDecision
 )
@@ -293,4 +297,40 @@ func NewAuthServer(cfg AuthServerConfig) (*AuthServer, error) {
 // NewAuthClient builds a client for the Authentication Server.
 func NewAuthClient(cfg AuthClientConfig) (*AuthClient, error) {
 	return transport.NewClient(cfg)
+}
+
+// Replication: leader–follower WAL shipping between Authentication
+// Servers, so the cloud role of Fig. 1 survives machine loss and scales
+// its read traffic across replicas.
+type (
+	// ReplicationLeader streams the store's WAL to followers.
+	ReplicationLeader = replication.Leader
+	// ReplicationLeaderConfig configures a leader.
+	ReplicationLeaderConfig = replication.LeaderConfig
+	// ReplicationFollower applies a leader's stream into a local store.
+	ReplicationFollower = replication.Follower
+	// ReplicationFollowerConfig configures a follower.
+	ReplicationFollowerConfig = replication.FollowerConfig
+	// ReplicationStatus is a point-in-time view of either endpoint.
+	ReplicationStatus = replication.Status
+	// ReplicatedOp describes one mutation applied from the stream.
+	ReplicatedOp = store.ReplicatedOp
+	// ReplicationInfo is the replication slice of AuthServerStats; wire a
+	// provider via AuthServerConfig.ReplicationInfo.
+	ReplicationInfo = transport.ReplicationInfo
+	// ReplicationFollowerInfo is one follower's progress inside
+	// ReplicationInfo.
+	ReplicationFollowerInfo = transport.ReplicationFollower
+)
+
+// NewReplicationLeader builds the leader side of replication over an
+// open population store; call Serve on a separate replication address.
+func NewReplicationLeader(cfg ReplicationLeaderConfig) (*ReplicationLeader, error) {
+	return replication.NewLeader(cfg)
+}
+
+// StartReplicationFollower connects to a leader and keeps the local
+// store converged with it until Close or Promote.
+func StartReplicationFollower(cfg ReplicationFollowerConfig) (*ReplicationFollower, error) {
+	return replication.StartFollower(cfg)
 }
