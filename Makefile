@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-auth bench-replication race-pool race-replication
+.PHONY: check build vet fmt test race fuzz bench bench-auth bench-replication race-pool race-replication race-retrain
 
-check: build vet fmt race race-pool race-replication
+check: build vet fmt race race-pool race-replication race-retrain
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeOpen -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzReplFrame -fuzztime=10s ./internal/replication/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeDriftStates -fuzztime=10s ./internal/retrain/
 
 # Smoke-run the store benchmarks under the race detector: one iteration
 # each, so the hot-path assertions (recovered counts, parallel enroll)
@@ -51,7 +52,7 @@ bench:
 # re-run this target and update the "after" column when the hot path
 # changes.
 bench-auth:
-	$(GO) test -run=xxx -bench='BenchmarkFFT300$$|BenchmarkFeatureExtraction6sWindow$$|BenchmarkAuthenticateWindow$$|BenchmarkEndToEndWindow$$|BenchmarkKRRTrain$$' -benchmem -benchtime=200x .
+	$(GO) test -run=xxx -bench='BenchmarkFFT300$$|BenchmarkFeatureExtraction6sWindow$$|BenchmarkAuthenticateWindow$$|BenchmarkEndToEndWindow$$|BenchmarkKRRTrain$$|BenchmarkIncrementalVsColdRetrain$$' -benchmem -benchtime=200x .
 
 # Focused race smoke over the shared FFT plan table and the server's
 # bounded train worker pool — the two concurrency surfaces of the hot
@@ -68,6 +69,15 @@ race-pool:
 # Pinned by name for the same reason as race-pool.
 race-replication:
 	$(GO) test -race -run='TestReplicationHammer|TestFollowerCrashRestartMidStream' ./internal/replication/
+
+# Drift-retraining hammer under the race detector: concurrent
+# authenticates drive the per-user drift monitor while the scheduler
+# coalesces candidates and runs retrains through the training pool, plus
+# the scheduler's own offer/dispatch hammer. Pinned by name like
+# race-pool so a test reshuffle cannot silently drop them.
+race-retrain:
+	$(GO) test -race -run='TestRetrainRaceHammer' ./internal/transport/
+	$(GO) test -race -run='TestRetrainSchedulerHammer' ./internal/retrain/
 
 # Follower catch-up throughput: a cold follower replaying a seeded
 # leader's log over TCP. Baseline lives in BENCH_store.json.

@@ -23,12 +23,22 @@
 //     leader. SIGHUP promotes a running follower to leader in place;
 //     -promote starts a former follower's data dir as the new leader.
 //
+// -retrain enables autonomous drift-triggered retraining (the paper's
+// Fig. 7 loop, server side): every served authenticate decision updates a
+// per-user confidence EWMA, and users that sink below -retrain-threshold
+// are retrained through a coalesced, budgeted scheduler — no client or
+// operator action. With -data-dir, drift state checkpoints into the store
+// registry so restarts resume with the accumulated drift. A follower
+// observes drift but defers scheduling to the leader until promoted.
+//
 // Usage:
 //
 //	authserver -addr 127.0.0.1:7600 -key secret [-seed-users 10] \
 //	    [-data-dir /var/lib/smarteryou] [-shards 8] [-keep-models 16] \
 //	    [-replication-addr 127.0.0.1:7700] \
-//	    [-replicate-from 127.0.0.1:7700] [-promote]
+//	    [-replicate-from 127.0.0.1:7700] [-promote] \
+//	    [-retrain] [-retrain-threshold 0.2] [-retrain-budget 2] \
+//	    [-retrain-cooldown 30m] [-retrain-recent 400]
 package main
 
 import (
@@ -60,6 +70,12 @@ func run() int {
 		replicationAddr = flag.String("replication-addr", "", "additional listener streaming the store's WAL to replication followers (requires -data-dir)")
 		replicateFrom   = flag.String("replicate-from", "", "run as a read-only follower of the leader's replication listener at this address (requires -data-dir)")
 		promote         = flag.Bool("promote", false, "start a former follower's -data-dir as the new leader (the store must not be empty)")
+
+		retrainOn        = flag.Bool("retrain", false, "enable autonomous drift-triggered retraining from served authenticate decisions")
+		retrainThreshold = flag.Float64("retrain-threshold", 0.2, "confidence-EWMA level below which a user becomes a retrain candidate (the paper's epsilon_CS)")
+		retrainBudget    = flag.Int("retrain-budget", 2, "scheduled retrains allowed to run concurrently")
+		retrainCooldown  = flag.Duration("retrain-cooldown", 30*time.Minute, "minimum gap between scheduled retrains of the same user")
+		retrainRecent    = flag.Int("retrain-recent", 400, "newest stored windows a scheduled retrain trains on")
 	)
 	flag.Parse()
 	if *key == "" {
@@ -77,6 +93,17 @@ func run() int {
 	if *replicateFrom != "" && *promote {
 		fmt.Fprintln(os.Stderr, "authserver: -promote and -replicate-from are mutually exclusive (promote takes over as leader)")
 		return 2
+	}
+	var retrainCfg *smarteryou.ServerRetrainConfig
+	if *retrainOn {
+		retrainCfg = &smarteryou.ServerRetrainConfig{
+			Threshold:     *retrainThreshold,
+			Budget:        *retrainBudget,
+			Cooldown:      *retrainCooldown,
+			RecentWindows: *retrainRecent,
+		}
+		log.Printf("drift retraining enabled: threshold %.2f, budget %d, cooldown %s, recent %d windows",
+			*retrainThreshold, *retrainBudget, *retrainCooldown, *retrainRecent)
 	}
 
 	var store *smarteryou.PopulationStore
@@ -103,7 +130,7 @@ func run() int {
 	}
 
 	if *replicateFrom != "" {
-		return runFollower(store, *addr, *key, *replicateFrom, *replicationAddr)
+		return runFollower(store, *addr, *key, *replicateFrom, *replicationAddr, retrainCfg)
 	}
 
 	// A recovered store may already hold the published context detector;
@@ -189,6 +216,7 @@ func run() int {
 		Logf:         log.Printf,
 		Store:        store,
 		TrainWorkers: *trainWorkers,
+		Retrain:      retrainCfg,
 		ReplicationInfo: func() *smarteryou.ReplicationInfo {
 			if leader == nil {
 				return nil
@@ -256,8 +284,10 @@ func run() int {
 
 // runFollower runs the read-only follower mode: replicate the leader's
 // store (including the published context detector), serve reads, redirect
-// writes, and promote to leader on SIGHUP.
-func runFollower(store *smarteryou.PopulationStore, addr, key, leaderAddr, replicationAddr string) int {
+// writes, and promote to leader on SIGHUP. With retrainCfg, the follower
+// monitors drift on its own authenticate traffic but defers scheduling to
+// the leader until promoted.
+func runFollower(store *smarteryou.PopulationStore, addr, key, leaderAddr, replicationAddr string, retrainCfg *smarteryou.ServerRetrainConfig) int {
 	// First pass without serving: pull the leader's state until the
 	// context detector — which every response path needs — is replicated.
 	boot, err := smarteryou.StartReplicationFollower(smarteryou.ReplicationFollowerConfig{
@@ -298,6 +328,7 @@ func runFollower(store *smarteryou.PopulationStore, addr, key, leaderAddr, repli
 		Store:      store,
 		Follower:   true,
 		LeaderAddr: leaderAddr,
+		Retrain:    retrainCfg,
 		ReplicationInfo: func() *smarteryou.ReplicationInfo {
 			if follower == nil {
 				return nil

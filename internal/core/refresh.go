@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"smarteryou/internal/features"
+	"smarteryou/internal/ml"
+)
+
+// RefreshConfig parameterizes an incremental model refresh.
+type RefreshConfig struct {
+	// RecentWindows caps how many of the user's freshest windows (and how
+	// many impostor windows) each context model folds in (default 400,
+	// the paper's per-class optimum).
+	RecentWindows int
+	// TargetFRR re-derives the operating threshold on the refreshed
+	// scores (default 0.03, as TrainConfig).
+	TargetFRR float64
+}
+
+func (c RefreshConfig) withDefaults() RefreshConfig {
+	if c.RecentWindows <= 0 {
+		c.RecentWindows = 400
+	}
+	if c.TargetFRR == 0 {
+		c.TargetFRR = 0.03
+	}
+	return c
+}
+
+// RefreshBundle is the cheap retraining path of Section V-I: instead of
+// re-solving each context model from the full population (core.Train), it
+// rebuilds the weight vector from the user's most recent windows with the
+// O(M^2)-per-sample incremental KRR, reusing the previous model's fitted
+// standardizer. The caller passes an already-bounded impostor sample, so
+// the whole refresh costs O(RecentWindows · M^2) — independent of both
+// the user's history length and the population size, which is what makes
+// scheduler-driven retraining affordable at fleet scale.
+//
+// legit must be in append (oldest-to-newest) order; the tail is used.
+// Contexts with no fresh data carry the previous model forward unchanged.
+// The refreshed bundle marshals and scores exactly like a batch-trained
+// one. Severe drift should fall back to core.Train: reusing the
+// standardizer assumes feature means and variances moved little, which
+// no longer holds when behaviour changed wholesale.
+func RefreshBundle(prev *ModelBundle, legit, impostor []features.WindowSample, cfg RefreshConfig) (*ModelBundle, error) {
+	cfg = cfg.withDefaults()
+	if prev == nil || len(prev.Models) == 0 {
+		return nil, fmt.Errorf("core: refresh requires a previous model bundle")
+	}
+	if len(legit) == 0 {
+		return nil, fmt.Errorf("core: no legitimate windows to refresh from")
+	}
+	if len(impostor) == 0 {
+		return nil, fmt.Errorf("core: no impostor windows to refresh from")
+	}
+
+	legitBy := make(map[string][]features.WindowSample)
+	impostorBy := make(map[string][]features.WindowSample)
+	if prev.Mode.UseContext {
+		for ctx, s := range features.SplitByCoarseContext(legit) {
+			legitBy[ctx.String()] = s
+		}
+		for ctx, s := range features.SplitByCoarseContext(impostor) {
+			impostorBy[ctx.String()] = s
+		}
+	} else {
+		legitBy[unifiedKey] = legit
+		impostorBy[unifiedKey] = impostor
+	}
+
+	out := &ModelBundle{Mode: prev.Mode, Models: make(map[string]*ContextModel, len(prev.Models))}
+	refreshed := 0
+	for key, prevModel := range prev.Models {
+		lg, im := legitBy[key], impostorBy[key]
+		if len(lg) == 0 || len(im) == 0 {
+			out.Models[key] = prevModel
+			continue
+		}
+		m, err := refreshOne(prevModel, lg, im, prev.Mode.Combined, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: refresh %s model: %w", key, err)
+		}
+		out.Models[key] = m
+		refreshed++
+	}
+	if refreshed == 0 {
+		return nil, fmt.Errorf("core: no context had both fresh legitimate and impostor data")
+	}
+	return out, nil
+}
+
+// refreshOne rebuilds one context model around the previous standardizer.
+func refreshOne(prev *ContextModel, legit, impostor []features.WindowSample, combined bool, cfg RefreshConfig) (*ContextModel, error) {
+	if prev == nil || prev.Std == nil || prev.KRR == nil {
+		return nil, fmt.Errorf("previous model is incomplete")
+	}
+	rho := prev.KRR.Rho
+	if rho <= 0 {
+		rho = 1
+	}
+	legit = tailWindows(legit, cfg.RecentWindows)
+	// Balance classes without an O(population) shuffle: an evenly spaced
+	// stride over the (already bounded) impostor sample.
+	impostor = strideWindows(impostor, min(cfg.RecentWindows, len(legit)))
+
+	dim := len(legit[0].Vector(combined))
+	inc, err := ml.NewIncrementalKRR(rho, dim)
+	if err != nil {
+		return nil, err
+	}
+	add := func(samples []features.WindowSample, label bool) error {
+		for _, s := range samples {
+			if err := inc.AddSample(prev.Std.Transform(s.Vector(combined)), label); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := add(legit, true); err != nil {
+		return nil, err
+	}
+	if err := add(impostor, false); err != nil {
+		return nil, err
+	}
+
+	// Score with the final weights (not mid-stream ones) so the threshold
+	// calibrates against the model that will actually serve.
+	legitScores := make([]float64, 0, len(legit))
+	for _, s := range legit {
+		v, err := inc.Score(prev.Std.Transform(s.Vector(combined)))
+		if err != nil {
+			return nil, err
+		}
+		legitScores = append(legitScores, v)
+	}
+	impostorScores := make([]float64, 0, len(impostor))
+	for _, s := range impostor {
+		v, err := inc.Score(prev.Std.Transform(s.Vector(combined)))
+		if err != nil {
+			return nil, err
+		}
+		impostorScores = append(impostorScores, v)
+	}
+	threshold := OperatingThreshold(legitScores, impostorScores, cfg.TargetFRR)
+
+	krr, err := ml.PrimalKRR(rho, inc.Weights())
+	if err != nil {
+		return nil, err
+	}
+	return &ContextModel{Std: prev.Std, KRR: krr, Threshold: threshold}, nil
+}
+
+// tailWindows returns the newest n windows (all, when n exceeds len).
+func tailWindows(s []features.WindowSample, n int) []features.WindowSample {
+	if n > 0 && len(s) > n {
+		return s[len(s)-n:]
+	}
+	return s
+}
+
+// strideWindows picks n evenly spaced windows without shuffling.
+func strideWindows(s []features.WindowSample, n int) []features.WindowSample {
+	if n <= 0 || len(s) <= n {
+		return s
+	}
+	out := make([]features.WindowSample, n)
+	step := float64(len(s)) / float64(n)
+	for i := range out {
+		out[i] = s[int(float64(i)*step)]
+	}
+	return out
+}

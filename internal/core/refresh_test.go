@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+)
+
+// collectAtDay records usage in both contexts at a specific drift day.
+func collectAtDay(t *testing.T, u *sensing.User, day, seconds float64) []features.WindowSample {
+	t.Helper()
+	var out []features.WindowSample
+	for ci, ctx := range []sensing.Context{sensing.ContextStationaryUse, sensing.ContextMovingUse} {
+		sess := sensing.Session{
+			User:    u,
+			Context: ctx,
+			Day:     day,
+			Seconds: seconds / 2,
+			Seed:    int64(day*1000) + int64(ci)*17 + 3,
+		}
+		phoneStream, err := sess.Generate(sensing.DevicePhone)
+		if err != nil {
+			t.Fatalf("generate phone: %v", err)
+		}
+		watchStream, err := sess.Generate(sensing.DeviceWatch)
+		if err != nil {
+			t.Fatalf("generate watch: %v", err)
+		}
+		phoneWins, err := features.ExtractWindows(phoneStream, 6)
+		if err != nil {
+			t.Fatalf("phone windows: %v", err)
+		}
+		watchWins, err := features.ExtractWindows(watchStream, 6)
+		if err != nil {
+			t.Fatalf("watch windows: %v", err)
+		}
+		n := min(len(phoneWins), len(watchWins))
+		for k := 0; k < n; k++ {
+			out = append(out, features.WindowSample{
+				UserID:  u.ID,
+				Context: ctx,
+				Day:     day,
+				Phone:   phoneWins[k],
+				Watch:   watchWins[k],
+			})
+		}
+	}
+	return out
+}
+
+// meanBundleScore scores windows against the per-context models directly
+// (bypassing context detection, which is not under test here).
+func meanBundleScore(t *testing.T, b *ModelBundle, samples []features.WindowSample) float64 {
+	t.Helper()
+	sum := 0.0
+	for _, s := range samples {
+		m, err := b.ModelFor(s.Context.Coarse())
+		if err != nil {
+			t.Fatalf("model for %v: %v", s.Context, err)
+		}
+		v, err := m.Score(s.Vector(b.Mode.Combined))
+		if err != nil {
+			t.Fatalf("score: %v", err)
+		}
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+func refreshFixture(t *testing.T) (owner *sensing.User, enroll, impostor []features.WindowSample, bundle *ModelBundle) {
+	t.Helper()
+	// Population seed and user chosen so the owner's behaviour drifts
+	// substantially (and deterministically) by day 10.
+	pop, err := sensing.NewPopulation(6, 99)
+	if err != nil {
+		t.Fatalf("population: %v", err)
+	}
+	owner = pop.Users[0]
+	for i, u := range pop.Users {
+		if u == owner {
+			continue
+		}
+		s, err := features.Collect(u, features.CollectOptions{SessionSeconds: 60, Sessions: 1, Seed: int64(500 + i)})
+		if err != nil {
+			t.Fatalf("collect impostor: %v", err)
+		}
+		impostor = append(impostor, s...)
+	}
+	enroll = collectAtDay(t, owner, 0, 240)
+	bundle, err = Train(enroll, impostor, TrainConfig{Mode: Mode{Combined: true, UseContext: true}, Seed: 2})
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return owner, enroll, impostor, bundle
+}
+
+func TestRefreshBundleRecoversFromDrift(t *testing.T) {
+	owner, enroll, impostor, bundle := refreshFixture(t)
+
+	baseline := meanBundleScore(t, bundle, enroll)
+	drifted := collectAtDay(t, owner, 10, 240)
+	stale := meanBundleScore(t, bundle, drifted)
+	if stale >= baseline {
+		t.Fatalf("fixture did not drift: baseline %.3f, day-10 %.3f", baseline, stale)
+	}
+
+	refreshed, err := RefreshBundle(bundle, drifted, impostor, RefreshConfig{RecentWindows: 200})
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	recovered := meanBundleScore(t, refreshed, drifted)
+	if recovered <= stale {
+		t.Fatalf("refresh did not improve drifted scores: stale %.3f, refreshed %.3f", stale, recovered)
+	}
+
+	// The refreshed model must still reject the rest of the population.
+	atkMean := meanBundleScore(t, refreshed, impostor)
+	if atkMean >= 0 {
+		t.Fatalf("refreshed model accepts impostors on average: %.3f", atkMean)
+	}
+
+	// A refreshed bundle must serialize like a batch-trained one (the
+	// phone downloads it through the same path).
+	blob, err := refreshed.Marshal()
+	if err != nil {
+		t.Fatalf("marshal refreshed bundle: %v", err)
+	}
+	back, err := UnmarshalModelBundle(blob)
+	if err != nil {
+		t.Fatalf("unmarshal refreshed bundle: %v", err)
+	}
+	if got := meanBundleScore(t, back, drifted); got != recovered {
+		t.Fatalf("serialized bundle scores differently: %.6f vs %.6f", got, recovered)
+	}
+}
+
+func TestRefreshBundleCarriesForwardContextsWithoutFreshData(t *testing.T) {
+	owner, _, impostor, bundle := refreshFixture(t)
+	drifted := collectAtDay(t, owner, 10, 240)
+	var stationaryOnly []features.WindowSample
+	for _, s := range drifted {
+		if s.Context.Coarse() == sensing.CoarseStationary {
+			stationaryOnly = append(stationaryOnly, s)
+		}
+	}
+	refreshed, err := RefreshBundle(bundle, stationaryOnly, impostor, RefreshConfig{})
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	movingKey := sensing.CoarseMoving.String()
+	if refreshed.Models[movingKey] != bundle.Models[movingKey] {
+		t.Fatal("context without fresh data must carry the previous model forward")
+	}
+	stationaryKey := sensing.CoarseStationary.String()
+	if refreshed.Models[stationaryKey] == bundle.Models[stationaryKey] {
+		t.Fatal("context with fresh data was not refreshed")
+	}
+}
+
+func TestRefreshBundleInputValidation(t *testing.T) {
+	_, _, impostor, bundle := refreshFixture(t)
+	if _, err := RefreshBundle(nil, impostor, impostor, RefreshConfig{}); err == nil {
+		t.Fatal("nil previous bundle must error")
+	}
+	if _, err := RefreshBundle(bundle, nil, impostor, RefreshConfig{}); err == nil {
+		t.Fatal("empty legit set must error")
+	}
+	if _, err := RefreshBundle(bundle, impostor, nil, RefreshConfig{}); err == nil {
+		t.Fatal("empty impostor set must error")
+	}
+}

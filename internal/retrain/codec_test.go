@@ -1,0 +1,71 @@
+package retrain
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleStates() map[string]UserState {
+	return map[string]UserState{
+		"anon-00deadbeef": {EWMA: 0.42, Primed: true, Windows: 137, LastTrainUnix: 1_700_000_000},
+		"anon-ffc0ffee00": {EWMA: -1.25, Primed: true, Windows: 3, LastTrainUnix: 1_699_999_000},
+		"anon-unprimed00": {},
+		"":                {EWMA: 0.1, Windows: 1},
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	want := sampleStates()
+	blob := EncodeStates(want)
+	got, err := DecodeStates(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestStateCodecDeterministic(t *testing.T) {
+	a := EncodeStates(sampleStates())
+	b := EncodeStates(sampleStates())
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical states encoded to different bytes")
+	}
+}
+
+func TestStateCodecEmpty(t *testing.T) {
+	got, err := DecodeStates(EncodeStates(nil))
+	if err != nil {
+		t.Fatalf("decode empty snapshot: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty snapshot decoded to %d users", len(got))
+	}
+}
+
+func TestStateCodecRejectsCorruption(t *testing.T) {
+	blob := EncodeStates(sampleStates())
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          blob[:3],
+		"truncated":      blob[:len(blob)-6],
+		"bad format":     append([]byte{0x7f}, blob[1:]...),
+		"flipped bit":    flipBit(blob, len(blob)/2),
+		"flipped crc":    flipBit(blob, len(blob)-1),
+		"trailing bytes": append(append([]byte{}, blob...), 0, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := DecodeStates(data); !errors.Is(err, ErrCorruptState) {
+			t.Errorf("%s: err = %v, want ErrCorruptState", name, err)
+		}
+	}
+}
+
+func flipBit(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}

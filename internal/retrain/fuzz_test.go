@@ -1,0 +1,38 @@
+package retrain
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeDriftStates hammers the drift-state decoder with arbitrary
+// bytes. Whatever restarts feed it from the registry — torn writes,
+// bit rot, blobs from a future format — it must return an error, never
+// panic, and never over-allocate; on success the states must survive a
+// re-encode/decode round trip.
+func FuzzDecodeDriftStates(f *testing.F) {
+	f.Add(EncodeStates(sampleStates()))
+	f.Add(EncodeStates(nil))
+	f.Add(EncodeStates(map[string]UserState{"u": {EWMA: -0.5, Primed: true, Windows: 9, LastTrainUnix: 12345}}))
+	valid := EncodeStates(sampleStates())
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{stateFormatV1})
+	f.Add([]byte{stateFormatV1, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte("not a drift state blob at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		states, err := DecodeStates(data)
+		if err != nil {
+			return
+		}
+		blob := EncodeStates(states)
+		again, err := DecodeStates(blob)
+		if err != nil {
+			t.Fatalf("re-encode of accepted blob failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(states, again) {
+			t.Fatalf("re-encode round trip mismatch:\n got %+v\nwant %+v", again, states)
+		}
+	})
+}

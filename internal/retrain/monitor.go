@@ -1,0 +1,153 @@
+package retrain
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// monitorShards spreads per-user drift state over independent locks so
+// the authenticate hot path never serialises the whole fleet on one
+// mutex. 64 shards keeps contention negligible well past the worker
+// counts the transport layer runs.
+const monitorShards = 64
+
+// UserState is one user's drift state. It is the unit of persistence:
+// the codec serialises a map of these into the store registry so a
+// restarted server resumes with the same EWMA and window count instead
+// of silently forgetting accumulated drift.
+type UserState struct {
+	// EWMA is the smoothed confidence score over authenticated windows.
+	EWMA float64
+	// Primed reports whether EWMA has absorbed at least one window.
+	Primed bool
+	// Windows counts authenticated windows since the last (re)train.
+	Windows uint64
+	// LastTrainUnix is when the user's model was last (re)trained, unix
+	// seconds (observation start for models that predate the monitor).
+	LastTrainUnix int64
+}
+
+// Monitor tracks drift state for every user the server authenticates.
+// All methods are safe for concurrent use.
+type Monitor struct {
+	cfg    Config
+	shards [monitorShards]monitorShard
+}
+
+type monitorShard struct {
+	mu     sync.Mutex
+	states map[string]*UserState
+}
+
+// NewMonitor returns a monitor with cfg's thresholds (zero fields take
+// the package defaults).
+func NewMonitor(cfg Config) *Monitor {
+	m := &Monitor{cfg: cfg.WithDefaults()}
+	for i := range m.shards {
+		m.shards[i].states = make(map[string]*UserState)
+	}
+	return m
+}
+
+func (m *Monitor) shard(user string) *monitorShard {
+	h := fnv.New32a()
+	h.Write([]byte(user))
+	return &m.shards[h.Sum32()%monitorShards]
+}
+
+// Observe folds one authenticate decision into the user's drift state
+// and reports whether the user is a retrain candidate right now. Only
+// accepted windows move the EWMA — rejected windows speak for an
+// impostor (or lockout-bound noise) and must not let an attacker steer
+// the model toward his own behaviour. The monitor re-emits a candidate
+// on every sub-threshold window; coalescing is the scheduler's job.
+func (m *Monitor) Observe(user string, score float64, accepted bool, now time.Time) (Candidate, bool) {
+	sh := m.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.states[user]
+	if st == nil {
+		st = &UserState{LastTrainUnix: now.Unix()}
+		sh.states[user] = st
+	}
+	if !accepted {
+		return Candidate{}, false
+	}
+	if !st.Primed {
+		st.EWMA = score
+		st.Primed = true
+	} else {
+		st.EWMA = (1-m.cfg.Smoothing)*st.EWMA + m.cfg.Smoothing*score
+	}
+	st.Windows++
+	if st.Windows >= uint64(m.cfg.MinWindows) && st.EWMA < m.cfg.Threshold {
+		return Candidate{
+			User:      user,
+			EWMA:      st.EWMA,
+			Windows:   st.Windows,
+			LastTrain: time.Unix(st.LastTrainUnix, 0),
+		}, true
+	}
+	return Candidate{}, false
+}
+
+// MarkTrained resets the user's drift accumulation after a (re)train:
+// the new model starts with a clean EWMA and window count, and the
+// last-train timestamp feeds future staleness priorities.
+func (m *Monitor) MarkTrained(user string, now time.Time) {
+	sh := m.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.states[user] = &UserState{LastTrainUnix: now.Unix()}
+}
+
+// State returns a copy of the user's drift state.
+func (m *Monitor) State(user string) (UserState, bool) {
+	sh := m.shard(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.states[user]
+	if !ok {
+		return UserState{}, false
+	}
+	return *st, true
+}
+
+// Count reports how many users have drift state.
+func (m *Monitor) Count() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.states)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot copies every user's drift state, for persistence.
+func (m *Monitor) Snapshot() map[string]UserState {
+	out := make(map[string]UserState)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for user, st := range sh.states {
+			out[user] = *st
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Restore loads persisted drift states, replacing any existing entries
+// for the same users. Called once at server startup before traffic.
+func (m *Monitor) Restore(states map[string]UserState) {
+	for user, st := range states {
+		sh := m.shard(user)
+		copied := st
+		sh.mu.Lock()
+		sh.states[user] = &copied
+		sh.mu.Unlock()
+	}
+}

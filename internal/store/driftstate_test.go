@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDriftStatePublishAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := s.LatestDriftState(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("latest on empty store: err = %v, want ErrNoModel", err)
+	}
+	if err := s.PublishDriftState(nil); err == nil {
+		t.Fatal("empty blob must be rejected")
+	}
+	if err := s.PublishDriftState([]byte("v1")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if err := s.PublishDriftState([]byte("v2")); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	got, err := s.LatestDriftState()
+	if err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("latest = %q, want v2", got)
+	}
+
+	// Reserved key must not masquerade as a user anywhere.
+	if vs := s.ModelVersions(); len(vs) != 0 {
+		t.Fatalf("ModelVersions leaked reserved keys: %v", vs)
+	}
+	if st := s.Stats(); len(st.ModelVersions) != 0 || st.Users != 0 {
+		t.Fatalf("Stats leaked reserved keys: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Drift state must survive a restart (that is its whole purpose).
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, err = s2.LatestDriftState()
+	if err != nil {
+		t.Fatalf("latest after reopen: %v", err)
+	}
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("latest after reopen = %q, want v2", got)
+	}
+}
+
+func TestDriftStateKeepsOnlyLatestVersion(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SnapshotEvery: -1, KeepModelVersions: 0})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.PublishDriftState([]byte(fmt.Sprintf("checkpoint-%d", i))); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	sh := s.shardFor(driftStateKey)
+	sh.mu.Lock()
+	n := len(sh.models[driftStateKey])
+	sh.mu.Unlock()
+	// KeepModelVersions is 0 (keep everything) for users, but the drift
+	// checkpoint must still retain only its latest version.
+	if n != 1 {
+		t.Fatalf("drift-state history holds %d versions, want 1", n)
+	}
+	got, err := s.LatestDriftState()
+	if err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if !bytes.Equal(got, []byte("checkpoint-9")) {
+		t.Fatalf("latest = %q", got)
+	}
+}
+
+func TestIsReservedKey(t *testing.T) {
+	for key, want := range map[string]bool{
+		detectorKey:       true,
+		driftStateKey:     true,
+		"anon-00aabbcc":   false,
+		"":                false,
+		"context-default": false,
+	} {
+		if got := IsReservedKey(key); got != want {
+			t.Errorf("IsReservedKey(%q) = %v, want %v", key, got, want)
+		}
+	}
+}

@@ -357,7 +357,7 @@ func (s *shard) installSnapshot(data []byte) (uint64, error) {
 	}
 	s.models = make(map[string][]ModelVersion, len(snap.Models))
 	for id, versions := range snap.Models {
-		s.models[id] = s.trimVersions(versions)
+		s.models[id] = s.trimVersions(id, versions)
 	}
 	s.nextSeq = snap.LastSeq + 1
 	s.snapBaseSeq = snap.LastSeq

@@ -117,7 +117,7 @@ func openShard(dir string, opt Options) (*shard, error) {
 			s.users[id] = samples
 		}
 		for id, versions := range snap.Models {
-			s.models[id] = s.trimVersions(versions)
+			s.models[id] = s.trimVersions(id, versions)
 		}
 	}
 
@@ -258,15 +258,22 @@ func (s *shard) apply(rec walRecord) {
 	case opReplace:
 		s.users[rec.User] = append([]features.WindowSample(nil), rec.Samples...)
 	case opPublish:
-		s.models[rec.User] = s.trimVersions(append(s.models[rec.User], ModelVersion{Version: rec.Version, Bundle: rec.Bundle}))
+		s.models[rec.User] = s.trimVersions(rec.User, append(s.models[rec.User], ModelVersion{Version: rec.Version, Bundle: rec.Bundle}))
 	}
 }
 
-// trimVersions applies Options.KeepModelVersions to one user's history.
-// The kept suffix is copied so the dropped versions' bundles become
-// collectable instead of pinned by the shared backing array.
-func (s *shard) trimVersions(vs []ModelVersion) []ModelVersion {
+// trimVersions applies the retention policy to one registry entry's
+// history: Options.KeepModelVersions for users, and always just the
+// latest checkpoint for the drift-state key (each checkpoint supersedes
+// the previous one entirely, so keeping history would grow the registry
+// by a full fleet snapshot per flush). The kept suffix is copied so the
+// dropped versions' bundles become collectable instead of pinned by the
+// shared backing array.
+func (s *shard) trimVersions(id string, vs []ModelVersion) []ModelVersion {
 	k := s.opt.KeepModelVersions
+	if id == driftStateKey {
+		k = 1
+	}
 	if k <= 0 || len(vs) <= k {
 		return vs
 	}

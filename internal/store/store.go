@@ -382,12 +382,25 @@ func (s *Store) PublishModel(user string, bundle *core.ModelBundle) (int, error)
 	return s.shardFor(user).publishModel(user, blob)
 }
 
-// detectorKey is the reserved registry identifier the user-agnostic
-// context detector is published under. It starts with a NUL byte, which no
-// anonymized user pseudonym ("anon-..." hex) can, so it never collides
-// with a user's model history. The key is filtered out of ModelVersions
-// and Stats so the detector does not masquerade as a user.
-const detectorKey = "\x00context-detector"
+// Reserved registry identifiers for server-internal state. They start
+// with a NUL byte, which no anonymized user pseudonym ("anon-..." hex)
+// can, so they never collide with a user's model history; they are
+// filtered out of ModelVersions and Stats so internal state does not
+// masquerade as a user.
+const (
+	// detectorKey holds the user-agnostic context detector.
+	detectorKey = "\x00context-detector"
+	// driftStateKey holds the retrain monitor's serialized per-user drift
+	// state — a rolling checkpoint, retained at only its latest version.
+	driftStateKey = "\x00drift-state"
+)
+
+// IsReservedKey reports whether a registry identifier is server-internal
+// (NUL-prefixed) rather than a user pseudonym. The transport layer uses
+// it to skip reserved keys when reacting to replicated publishes.
+func IsReservedKey(id string) bool {
+	return len(id) > 0 && id[0] == 0
+}
 
 // PublishDetector durably stores the user-agnostic context detector in
 // the registry, so a restarted server can serve it without retraining
@@ -425,6 +438,37 @@ func (s *Store) LatestDetector() (*ctxdetect.Detector, error) {
 		return nil, fmt.Errorf("store: decode detector: %w", err)
 	}
 	return &det, nil
+}
+
+// PublishDriftState durably checkpoints the retrain monitor's serialized
+// drift state (internal/retrain codec) under its reserved registry key.
+// It rides the shard's WAL like any publish — replicated to followers,
+// compacted into snapshots — but only the latest checkpoint is retained:
+// the blob is a rolling snapshot of the whole monitor, so history would
+// only bloat the registry.
+func (s *Store) PublishDriftState(blob []byte) error {
+	if len(blob) == 0 {
+		return fmt.Errorf("store: publish: empty drift state")
+	}
+	_, err := s.shardFor(driftStateKey).publishModel(driftStateKey, blob)
+	return err
+}
+
+// LatestDriftState loads the most recent drift-state checkpoint. Returns
+// ErrNoModel when none has been published.
+func (s *Store) LatestDriftState() ([]byte, error) {
+	sh := s.shardFor(driftStateKey)
+	sh.mu.Lock()
+	vs := sh.models[driftStateKey]
+	var blob json.RawMessage
+	if len(vs) > 0 {
+		blob = vs[len(vs)-1].Bundle
+	}
+	sh.mu.Unlock()
+	if blob == nil {
+		return nil, fmt.Errorf("%w: no published drift state", ErrNoModel)
+	}
+	return blob, nil
 }
 
 // LatestModel fetches the most recently published model for the user.
@@ -472,7 +516,7 @@ func (s *Store) ModelVersions() map[string]int {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		for id, vs := range sh.models {
-			if id == detectorKey {
+			if IsReservedKey(id) {
 				continue
 			}
 			if len(vs) > 0 {
@@ -519,7 +563,7 @@ func (s *Store) Stats() Stats {
 		st.Recovery.SkippedBySnapshot += sh.recovery.SkippedBySnapshot
 		st.Recovery.TruncatedBytes += sh.recovery.TruncatedBytes
 		for id, vs := range sh.models {
-			if id == detectorKey {
+			if IsReservedKey(id) {
 				continue
 			}
 			if len(vs) > 0 {

@@ -46,6 +46,22 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	return &Client{addr: cfg.Addr, key: cfg.Key, timeout: timeout}, nil
 }
 
+// withBusyRetry runs do and, when the server answers busy (a saturated
+// training pool or a full retrain queue), retries once after the server's
+// carried backoff hint. Busy means the request never started, so the
+// retry cannot double-run it. Every busy-capable request — client and
+// session alike — funnels through here so backoff behaviour stays in one
+// place.
+func withBusyRetry(do func() error) error {
+	err := do()
+	var busy *BusyError
+	if errors.As(err, &busy) {
+		time.Sleep(busy.RetryAfter)
+		err = do()
+	}
+	return err
+}
+
 // roundTrip sends one request on a fresh connection and decodes the
 // response payload into out. Use NewSession to reuse a connection across
 // multiple round trips.
@@ -113,12 +129,9 @@ func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle
 		Seed:        p.Seed,
 	}
 	var resp trainResponse
-	err := c.roundTrip(TypeTrain, req, &resp)
-	var busy *BusyError
-	if errors.As(err, &busy) {
-		time.Sleep(busy.RetryAfter)
-		err = c.roundTrip(TypeTrain, req, &resp)
-	}
+	err := withBusyRetry(func() error {
+		return c.roundTrip(TypeTrain, req, &resp)
+	})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -167,6 +180,20 @@ func (c *Client) Authenticate(userID string, sample features.WindowSample) (Auth
 		return AuthDecision{}, err
 	}
 	return AuthDecision(resp), nil
+}
+
+// RequestRetrain nudges the server's drift-retrain scheduler to consider
+// the user now, entering the same coalesced, budgeted queue the drift
+// monitor feeds — it never triggers an immediate train. Queued reports
+// whether the user is (now) in the queue; reason explains a softer
+// outcome ("coalesced", "cooldown"). A busy response (full candidate
+// queue) is retried once after the carried backoff.
+func (c *Client) RequestRetrain(userID string) (queued bool, reason string, err error) {
+	var resp retrainResponse
+	err = withBusyRetry(func() error {
+		return c.roundTrip(TypeRetrain, retrainRequest{UserID: userID}, &resp)
+	})
+	return resp.Queued, resp.Reason, err
 }
 
 // Stats fetches the server's population-store summary.

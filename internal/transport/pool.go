@@ -15,11 +15,21 @@ type trainResult struct {
 	err     error
 }
 
-// trainJob is one queued training request; the connection goroutine that
-// submitted it waits on done.
+// trainJob is one queued training request; the goroutine that submitted
+// it (a connection goroutine for client trains, a scheduler dispatch
+// goroutine for drift-triggered retrains) waits on done.
 type trainJob struct {
 	req  trainRequest
 	done chan trainResult
+
+	// anon, when set, is the already-anonymized user id of a
+	// scheduler-initiated job (the drift monitor only ever sees
+	// pseudonyms, so there is no raw id to anonymize).
+	anon string
+	// incremental selects core.RefreshBundle over a cold core.Train.
+	incremental bool
+	// recent bounds the job to the user's newest windows (0: all).
+	recent int
 }
 
 // trainTestHook, when set, runs inside a worker at the start of every job

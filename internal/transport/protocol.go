@@ -44,11 +44,18 @@ const (
 	// outsource the testing module (Section IV-B). Served inline, never
 	// queued behind training.
 	TypeAuthenticate = "authenticate"
+	// TypeRetrain nudges the server's drift-retrain scheduler to consider
+	// the user now, as if the drift monitor had emitted a candidate — an
+	// operator/device-initiated entry into the same coalesced, budgeted
+	// queue (never a direct train). Requires the server to run with the
+	// retrain subsystem enabled; followers redirect it to the leader.
+	TypeRetrain = "retrain"
 	// TypeOK is a generic success response.
 	TypeOK = "ok"
-	// TypeBusy reports that the server's training queue is full; the client
-	// should retry after the indicated delay. Only training requests are
-	// ever answered with TypeBusy.
+	// TypeBusy reports that the server's training queue (or the retrain
+	// scheduler's candidate queue) is full; the client should retry after
+	// the indicated delay. Only train and retrain requests are ever
+	// answered with TypeBusy.
 	TypeBusy = "busy"
 	// TypeRedirect reports that this server is a read-only replication
 	// follower and the write (enroll or train) must go to the leader, whose

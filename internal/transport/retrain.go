@@ -1,0 +1,326 @@
+// Drift-triggered retraining wiring: the transport server owns the glue
+// between the retrain subsystem (internal/retrain) and everything it
+// needs — authenticate decisions feed the monitor, candidates feed the
+// scheduler, scheduled retrains run through the bounded training pool,
+// and monitor snapshots checkpoint into the store registry so drift
+// state survives restarts. Followers observe drift locally but defer
+// scheduling to the leader (their stores are read-only replicas); a
+// promoted follower starts scheduling from its own observed state.
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/features"
+	"smarteryou/internal/retrain"
+)
+
+// retrainRequest nudges the scheduler to consider one user now.
+type retrainRequest struct {
+	UserID string `json:"user_id"`
+}
+
+// retrainResponse reports what the scheduler did with the nudge.
+type retrainResponse struct {
+	// Queued is true when the user entered (or was already in) the
+	// scheduler's queue.
+	Queued bool `json:"queued"`
+	// Reason explains a not-freshly-queued outcome: "coalesced" or
+	// "cooldown".
+	Reason string `json:"reason,omitempty"`
+}
+
+// RetrainStats is the drift-retraining slice of the stats response.
+type RetrainStats struct {
+	// Monitored is how many users have drift state.
+	Monitored int `json:"monitored"`
+	// Queued and InFlight describe the scheduler right now.
+	Queued   int `json:"queued"`
+	InFlight int `json:"in_flight"`
+	// Candidates counts every candidate the monitor emitted; Coalesced,
+	// CooldownSkips and QueueDrops count the ones absorbed before
+	// dispatch.
+	Candidates    uint64 `json:"candidates"`
+	Coalesced     uint64 `json:"coalesced"`
+	CooldownSkips uint64 `json:"cooldown_skips"`
+	QueueDrops    uint64 `json:"queue_drops"`
+	// BudgetRejected counts dispatches the training pool refused.
+	BudgetRejected uint64 `json:"budget_rejected"`
+	// Incremental and Cold count completed scheduled retrains by kind;
+	// Completed is their sum, Failures the errored ones.
+	Incremental uint64 `json:"incremental"`
+	Cold        uint64 `json:"cold"`
+	Completed   uint64 `json:"completed"`
+	Failures    uint64 `json:"failures"`
+	// Deferred counts candidates a follower left for the leader.
+	Deferred uint64 `json:"deferred,omitempty"`
+	// Flushes counts drift-state checkpoints written to the registry.
+	Flushes uint64 `json:"flushes,omitempty"`
+}
+
+// driftLoop bundles the server's retrain subsystem state.
+type driftLoop struct {
+	cfg     retrain.Config
+	monitor *retrain.Monitor
+	sched   *retrain.Scheduler
+
+	// deferred counts candidates observed while in follower mode.
+	deferred atomic.Uint64
+	// flushes counts persisted monitor checkpoints; obsSince counts
+	// observations since the last one.
+	flushes  atomic.Uint64
+	obsSince atomic.Int64
+	// flushCh wakes the flusher goroutine (nil when the server is
+	// in-memory only); flushDone closes when it exits.
+	flushCh   chan struct{}
+	flushDone chan struct{}
+}
+
+// startDrift builds the drift monitor + scheduler. Called from NewServer
+// after the training pool exists; restores any persisted drift state so
+// a restart does not reset accumulated drift.
+func (s *Server) startDrift(cfg retrain.Config) {
+	d := &driftLoop{cfg: cfg.WithDefaults()}
+	d.monitor = retrain.NewMonitor(d.cfg)
+	if s.persist != nil {
+		if blob, err := s.persist.LatestDriftState(); err == nil {
+			states, err := retrain.DecodeStates(blob)
+			if err != nil {
+				// Corrupt checkpoint: start fresh rather than refuse to
+				// serve — drift state is reconstructible from traffic.
+				s.logf("drift state checkpoint unreadable, starting fresh: %v", err)
+			} else {
+				d.monitor.Restore(states)
+				s.logf("restored drift state for %d users", len(states))
+			}
+		}
+		d.flushCh = make(chan struct{}, 1)
+		d.flushDone = make(chan struct{})
+	}
+	d.sched = retrain.NewScheduler(d.cfg, s.runScheduledRetrain)
+	s.drift = d
+	if d.flushCh != nil {
+		go func() {
+			defer close(d.flushDone)
+			for range d.flushCh {
+				s.flushDriftState()
+			}
+		}()
+	}
+}
+
+// observeDrift folds one served authenticate decision into the user's
+// drift state — the monitor hook of the Fig. 7 loop. Candidates go to
+// the scheduler on leaders and are counted as deferred on followers
+// (the leader serves the same users and schedules from its own monitor).
+// Runs on the connection goroutine; both monitor and scheduler are
+// sharded/short-critical-section, so the authenticate hot path stays
+// cheap.
+func (s *Server) observeDrift(anon string, score float64, accepted bool) {
+	d := s.drift
+	if d == nil {
+		return
+	}
+	cand, fire := d.monitor.Observe(anon, score, accepted, time.Now())
+	if fire {
+		if s.follower.Load() {
+			d.deferred.Add(1)
+		} else {
+			d.sched.Offer(cand)
+		}
+	}
+	// Checkpoint cadence: every FlushEvery observations, hand the
+	// flusher a (coalesced) wake-up. Followers never write — their store
+	// is a read-only replica of the leader's.
+	if d.flushCh != nil && !s.follower.Load() {
+		if n := d.obsSince.Add(1); n >= int64(d.cfg.FlushEvery) {
+			d.obsSince.Store(0)
+			select {
+			case d.flushCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// flushDriftState checkpoints the monitor into the store registry.
+func (s *Server) flushDriftState() {
+	d := s.drift
+	if d == nil || s.persist == nil || s.follower.Load() {
+		return
+	}
+	snap := d.monitor.Snapshot()
+	if len(snap) == 0 {
+		return
+	}
+	if err := s.persist.PublishDriftState(retrain.EncodeStates(snap)); err != nil {
+		s.logf("drift state checkpoint: %v", err)
+		return
+	}
+	d.flushes.Add(1)
+}
+
+// runScheduledRetrain executes one scheduler-dispatched retrain through
+// the shared training pool. Mild drift takes the incremental refresh
+// (bounded recent windows, previous standardizer reused — cost
+// independent of history and population size); severe drift falls back
+// to a cold core.Train with RecentWindows as the per-class cap. A full
+// pool returns retrain.ErrBusy so the scheduler backs off and requeues
+// instead of dropping the candidate.
+func (s *Server) runScheduledRetrain(c retrain.Candidate, severe bool) error {
+	anon := c.User
+	bundle := s.currentBundle(anon)
+	if bundle == nil {
+		return fmt.Errorf("retrain %s: no current model", anon)
+	}
+	job := trainJob{
+		req: trainRequest{
+			UserID:      anon,
+			Mode:        bundle.Mode,
+			MaxPerClass: s.drift.cfg.RecentWindows,
+			Seed:        time.Now().UnixNano(),
+		},
+		anon:        anon,
+		incremental: !severe,
+		recent:      s.drift.cfg.RecentWindows,
+		done:        make(chan trainResult, 1),
+	}
+	if !s.pool.trySubmit(job) {
+		return retrain.ErrBusy
+	}
+	res := <-job.done
+	if res.err != nil {
+		s.logf("scheduled retrain %s (severe=%v): %v", anon, severe, res.err)
+		return res.err
+	}
+	kind := "incremental"
+	if severe {
+		kind = "cold"
+	}
+	s.logf("scheduled retrain %s: %s, ewma %.3f over %d windows, version %d", anon, kind, c.EWMA, c.Windows, res.version)
+	return nil
+}
+
+// currentBundle returns the user's serving model: the cached bundle, or
+// the registry's latest.
+func (s *Server) currentBundle(anon string) *core.ModelBundle {
+	s.mu.Lock()
+	bundle := s.models[anon]
+	s.mu.Unlock()
+	if bundle == nil && s.persist != nil {
+		if b, _, err := s.persist.LatestModel(anon); err == nil {
+			bundle = b
+		}
+	}
+	return bundle
+}
+
+// refresh is the incremental retrain path: rebuild the user's bundle
+// from their newest windows around the previous model's standardizer
+// (core.RefreshBundle). Unlike train, its critical section under s.mu is
+// O(sample budget), not O(population) — it never copies the whole
+// impostor population.
+func (s *Server) refresh(anon string, req trainRequest, recent int) (*core.ModelBundle, error) {
+	prev := s.currentBundle(anon)
+	if prev == nil {
+		return nil, fmt.Errorf("refresh: user %s has no previous model", anon)
+	}
+	s.mu.Lock()
+	src := s.store[anon]
+	if recent > 0 && len(src) > recent {
+		src = src[len(src)-recent:]
+	}
+	legit := append([]features.WindowSample(nil), src...)
+	impostor := s.sampleImpostorsLocked(anon, 2*max(recent, len(legit)))
+	s.mu.Unlock()
+	if len(legit) == 0 {
+		return nil, fmt.Errorf("refresh: user %s has no enrolled data", anon)
+	}
+	if len(impostor) == 0 {
+		return nil, fmt.Errorf("refresh: population store has no other users")
+	}
+	return core.RefreshBundle(prev, legit, impostor, core.RefreshConfig{
+		RecentWindows: recent,
+		TargetFRR:     req.TargetFRR,
+	})
+}
+
+// sampleImpostorsLocked draws a bounded, evenly spread impostor sample:
+// a per-user quota of evenly strided windows, so every other user and
+// both coarse contexts are represented without copying (or shuffling)
+// the full population. Caller holds s.mu.
+func (s *Server) sampleImpostorsLocked(anon string, budget int) []features.WindowSample {
+	others := 0
+	for id, samples := range s.store {
+		if id != anon && len(samples) > 0 {
+			others++
+		}
+	}
+	if others == 0 || budget <= 0 {
+		return nil
+	}
+	quota := budget / others
+	if quota < 1 {
+		quota = 1
+	}
+	out := make([]features.WindowSample, 0, budget+others)
+	for id, samples := range s.store {
+		if id == anon || len(samples) == 0 {
+			continue
+		}
+		if len(samples) <= quota {
+			out = append(out, samples...)
+			continue
+		}
+		step := float64(len(samples)) / float64(quota)
+		for i := 0; i < quota; i++ {
+			out = append(out, samples[int(float64(i)*step)])
+		}
+	}
+	return out
+}
+
+// driftStats snapshots the retrain subsystem for the stats response.
+func (s *Server) driftStats() *RetrainStats {
+	d := s.drift
+	if d == nil {
+		return nil
+	}
+	c := d.sched.Counters()
+	return &RetrainStats{
+		Monitored:      d.monitor.Count(),
+		Queued:         d.sched.Queued(),
+		InFlight:       d.sched.InFlight(),
+		Candidates:     c.Candidates,
+		Coalesced:      c.Coalesced,
+		CooldownSkips:  c.CooldownSkips,
+		QueueDrops:     c.QueueDrops,
+		BudgetRejected: c.BudgetRejected,
+		Incremental:    c.Incremental,
+		Cold:           c.Cold,
+		Completed:      c.Completed,
+		Failures:       c.Failures,
+		Deferred:       d.deferred.Load(),
+		Flushes:        d.flushes.Load(),
+	}
+}
+
+// closeDrift stops the scheduler (draining in-flight retrains, which
+// still need the training pool — call before pool.close), stops the
+// flusher, and writes a final checkpoint so no observed drift is lost
+// across the restart.
+func (s *Server) closeDrift() {
+	d := s.drift
+	if d == nil {
+		return
+	}
+	d.sched.Close()
+	if d.flushCh != nil {
+		close(d.flushCh)
+		<-d.flushDone
+	}
+	s.flushDriftState()
+}

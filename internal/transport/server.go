@@ -8,10 +8,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
+	"smarteryou/internal/retrain"
 	"smarteryou/internal/store"
 )
 
@@ -98,6 +100,9 @@ type ServerStats struct {
 	// Replication reports this server's replication role and progress when
 	// it participates in a leader–follower pair.
 	Replication *ReplicationInfo `json:"replication,omitempty"`
+	// Retrain reports the drift-triggered retraining subsystem when it is
+	// enabled.
+	Retrain *RetrainStats `json:"retrain,omitempty"`
 }
 
 // ReplicationInfo is the replication slice of the stats response.
@@ -171,6 +176,8 @@ type Server struct {
 	replInfo func() *ReplicationInfo
 
 	pool *workerPool
+	// drift is the drift-triggered retraining loop; nil when disabled.
+	drift *driftLoop
 
 	wg       sync.WaitGroup
 	listener net.Listener
@@ -213,6 +220,14 @@ type ServerConfig struct {
 	// ReplicationInfo, when set, is polled by the stats request to report
 	// this server's replication role and progress.
 	ReplicationInfo func() *ReplicationInfo
+	// Retrain, when set, enables autonomous drift-triggered retraining:
+	// every served authenticate decision updates a per-user drift monitor,
+	// and users whose confidence EWMA sinks below Retrain.Threshold are
+	// retrained through a coalesced, budgeted scheduler without any client
+	// action. On followers the monitor still accumulates state (so a
+	// promoted follower schedules from what it observed) but candidates
+	// are deferred to the leader rather than scheduled locally.
+	Retrain *retrain.Config
 }
 
 // NewServer builds a server (not yet listening).
@@ -252,6 +267,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	s.pool = newWorkerPool(cfg.TrainWorkers, cfg.TrainQueueDepth, s.runTrainJob)
+	if cfg.Retrain != nil {
+		s.startDrift(*cfg.Retrain)
+	}
 	return s, nil
 }
 
@@ -305,6 +323,13 @@ func (s *Server) ApplyReplicatedOp(op store.ReplicatedOp) {
 		// The record carries the version, not the bundle; drop the cached
 		// bundle so the next authenticate reloads the registry's latest.
 		delete(s.models, op.User)
+		// The leader retrained this user: reset the follower's drift state
+		// too, so a later promotion does not immediately re-fire on drift
+		// the new model already absorbed. Reserved keys (the drift-state
+		// checkpoint itself, the detector) are not users.
+		if s.drift != nil && !store.IsReservedKey(op.User) {
+			s.drift.monitor.MarkTrained(op.User, time.Now())
+		}
 	}
 }
 
@@ -381,9 +406,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener, waits for in-flight connections, then drains
-// the training pool. Connections waiting on queued train jobs finish
-// before wg.Wait returns, so the pool is idle by the time it is closed.
+// Close stops the listener, waits for in-flight connections, stops the
+// drift scheduler, then drains the training pool. Connections waiting on
+// queued train jobs finish before wg.Wait returns; the scheduler closes
+// before the pool because its in-flight retrains run on pool workers, and
+// once it is closed nothing submits new jobs, so the pool is idle by the
+// time it is closed.
 func (s *Server) Close() error {
 	close(s.closed)
 	var err error
@@ -391,6 +419,7 @@ func (s *Server) Close() error {
 		err = s.listener.Close()
 	}
 	s.wg.Wait()
+	s.closeDrift()
 	s.pool.close()
 	return err
 }
@@ -512,6 +541,52 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		}
 		return respond(TypeOK, resp)
 
+	case TypeRetrain:
+		var req retrainRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		if s.follower.Load() {
+			return redirect()
+		}
+		if s.drift == nil {
+			return fail(fmt.Errorf("retrain: drift-triggered retraining is disabled on this server"))
+		}
+		if req.UserID == "" {
+			return fail(fmt.Errorf("retrain: missing user id"))
+		}
+		anon := anonymize(req.UserID)
+		s.mu.Lock()
+		_, known := s.store[anon]
+		s.mu.Unlock()
+		if !known {
+			return fail(fmt.Errorf("retrain: user %s has no enrolled data", req.UserID))
+		}
+		// Build the candidate from the monitor's current view; a user the
+		// monitor has not seen gets a zero-severity candidate (it still
+		// runs, just never ahead of genuinely drifted users).
+		cand := retrain.Candidate{User: anon, EWMA: s.drift.cfg.Threshold, LastTrain: time.Now()}
+		if st, ok := s.drift.monitor.State(anon); ok {
+			cand.EWMA = st.EWMA
+			cand.Windows = st.Windows
+			cand.LastTrain = time.Unix(st.LastTrainUnix, 0)
+		}
+		switch s.drift.sched.Offer(cand) {
+		case retrain.Offered:
+			return respond(TypeOK, retrainResponse{Queued: true})
+		case retrain.OfferCoalesced:
+			return respond(TypeOK, retrainResponse{Queued: true, Reason: "coalesced"})
+		case retrain.OfferCooldown:
+			return respond(TypeOK, retrainResponse{Reason: "cooldown"})
+		case retrain.OfferQueueFull:
+			return respond(TypeBusy, busyPayload{
+				Message:           "retrain queue is full",
+				RetryAfterSeconds: 1,
+			})
+		default: // OfferClosed
+			return fail(fmt.Errorf("retrain: scheduler is shut down"))
+		}
+
 	case TypeFetchModel:
 		var req fetchModelRequest
 		if err := env.Open(s.key, &req); err != nil {
@@ -578,6 +653,7 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		if s.replInfo != nil {
 			resp.Replication = s.replInfo()
 		}
+		resp.Retrain = s.driftStats()
 		return respond(TypeOK, resp)
 
 	default:
@@ -585,15 +661,28 @@ func (s *Server) dispatch(env Envelope) Envelope {
 	}
 }
 
-// runTrainJob executes one pooled training job end to end: train, publish
-// to the registry when persistence is on, and cache the bundle for
-// server-side authentication.
+// runTrainJob executes one pooled training job end to end: train (cold or
+// incremental), publish to the registry when persistence is on, and cache
+// the bundle for server-side authentication. A successful publish also
+// resets the user's drift state — whoever initiated the retrain, the
+// model now reflects recent behaviour.
 func (s *Server) runTrainJob(job trainJob) trainResult {
-	bundle, err := s.train(job.req)
+	anon := job.anon
+	if anon == "" {
+		anon = anonymize(job.req.UserID)
+	}
+	var (
+		bundle *core.ModelBundle
+		err    error
+	)
+	if job.incremental {
+		bundle, err = s.refresh(anon, job.req, job.recent)
+	} else {
+		bundle, err = s.train(anon, job.req, job.recent)
+	}
 	if err != nil {
 		return trainResult{err: err}
 	}
-	anon := anonymize(job.req.UserID)
 	version := 0
 	if s.persist != nil {
 		version, err = s.persist.PublishModel(anon, bundle)
@@ -604,6 +693,9 @@ func (s *Server) runTrainJob(job trainJob) trainResult {
 	s.mu.Lock()
 	s.models[anon] = bundle
 	s.mu.Unlock()
+	if s.drift != nil {
+		s.drift.monitor.MarkTrained(anon, time.Now())
+	}
 	return trainResult{bundle: bundle, version: version}
 }
 
@@ -640,6 +732,8 @@ func (s *Server) authenticate(req authRequest) (authResponse, error) {
 	if err != nil {
 		return authResponse{}, fmt.Errorf("authenticate: %w", err)
 	}
+	// Feed the drift monitor: this is the retraining loop's only sensor.
+	s.observeDrift(anon, d.Score, d.Accepted)
 	return authResponse{
 		Context:           d.Context.String(),
 		ContextConfidence: d.ContextConfidence,
@@ -649,11 +743,16 @@ func (s *Server) authenticate(req authRequest) (authResponse, error) {
 }
 
 // train runs the training module for one user: positives are the user's
-// stored windows, negatives are every other (anonymized) user's.
-func (s *Server) train(req trainRequest) (*core.ModelBundle, error) {
-	anon := anonymize(req.UserID)
+// stored windows (optionally only the newest `recent` of them, for
+// scheduled cold retrains that should track current behaviour), negatives
+// are every other (anonymized) user's.
+func (s *Server) train(anon string, req trainRequest, recent int) (*core.ModelBundle, error) {
 	s.mu.Lock()
-	legit := append([]features.WindowSample(nil), s.store[anon]...)
+	src := s.store[anon]
+	if recent > 0 && len(src) > recent {
+		src = src[len(src)-recent:]
+	}
+	legit := append([]features.WindowSample(nil), src...)
 	var impostor []features.WindowSample
 	for id, samples := range s.store {
 		if id != anon {

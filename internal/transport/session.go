@@ -126,17 +126,22 @@ func (s *Session) FetchDetector() (*ctxdetect.Detector, error) {
 	return &det, nil
 }
 
-// Train asks the server to train and returns the model bundle.
+// Train asks the server to train and returns the model bundle. Like
+// Client.TrainVersioned, a busy response is retried once after the
+// server's suggested backoff.
 func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error) {
-	var resp trainResponse
-	err := s.roundTrip(TypeTrain, trainRequest{
+	req := trainRequest{
 		UserID:      userID,
 		Mode:        p.Mode,
 		Rho:         p.Rho,
 		MaxPerClass: p.MaxPerClass,
 		TargetFRR:   p.TargetFRR,
 		Seed:        p.Seed,
-	}, &resp)
+	}
+	var resp trainResponse
+	err := withBusyRetry(func() error {
+		return s.roundTrip(TypeTrain, req, &resp)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +149,16 @@ func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error)
 		return nil, fmt.Errorf("transport: server returned no model bundle")
 	}
 	return resp.Bundle, nil
+}
+
+// RequestRetrain nudges the drift-retrain scheduler on the session
+// connection; see Client.RequestRetrain.
+func (s *Session) RequestRetrain(userID string) (queued bool, reason string, err error) {
+	var resp retrainResponse
+	err = withBusyRetry(func() error {
+		return s.roundTrip(TypeRetrain, retrainRequest{UserID: userID}, &resp)
+	})
+	return resp.Queued, resp.Reason, err
 }
 
 // Authenticate asks the server to classify one feature window with the

@@ -36,6 +36,7 @@ import (
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
 	"smarteryou/internal/replication"
+	"smarteryou/internal/retrain"
 	"smarteryou/internal/sensing"
 	"smarteryou/internal/store"
 	"smarteryou/internal/transport"
@@ -261,6 +262,20 @@ type (
 	RedirectError = transport.RedirectError
 	// AuthDecision is the server-side authenticate verdict.
 	AuthDecision = transport.AuthDecision
+)
+
+// Autonomous drift-triggered retraining: the server-side closed loop of
+// the paper's Fig. 7. Every served authenticate decision updates a
+// per-user confidence EWMA; users that sink below the threshold are
+// retrained through a coalesced, budgeted scheduler with no client or
+// operator action. (RetrainMonitor, above, is the phone-side trigger the
+// client flow uses; ServerRetrainConfig drives the cloud-side loop.)
+type (
+	// ServerRetrainConfig enables and tunes the drift-retraining loop;
+	// pass a pointer in AuthServerConfig.Retrain.
+	ServerRetrainConfig = retrain.Config
+	// ServerRetrainStats is the retrain slice of AuthServerStats.
+	ServerRetrainStats = transport.RetrainStats
 )
 
 // Durable storage: the server's crash-recoverable population store and
