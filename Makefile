@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-auth bench-replication race-pool race-replication race-retrain
+.PHONY: check build vet fmt test race fuzz bench bench-auth bench-replication bench-fleet race-pool race-replication race-retrain check-scenarios
 
-check: build vet fmt race race-pool race-replication race-retrain
+check: build vet fmt race race-pool race-replication race-retrain check-scenarios
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeOpen -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzReplFrame -fuzztime=10s ./internal/replication/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeDriftStates -fuzztime=10s ./internal/retrain/
+	$(GO) test -run=Fuzz -fuzz=FuzzScenarioConfig -fuzztime=10s ./internal/fleet/
 
 # Smoke-run the store benchmarks under the race detector: one iteration
 # each, so the hot-path assertions (recovered counts, parallel enroll)
@@ -83,3 +84,21 @@ race-retrain:
 # leader's log over TCP. Baseline lives in BENCH_store.json.
 bench-replication:
 	$(GO) test -run=xxx -bench=BenchmarkFollowerCatchUp -benchtime=50x ./internal/replication/
+
+# Scenario regression suite under the race detector: every shipped
+# profile in scenarios/ runs at smoke scale (200-identity fleet, 30 s op
+# budget) against an in-process topology — the follower one fails over
+# mid-run — and must hold its SLO. Pinned by name like race-pool.
+check-scenarios:
+	$(GO) test -race -run='TestScenarioSmoke|TestFailoverUnderLoad' ./internal/fleet/
+
+# Fleet-scale load benchmark: replays every shipped scenario through
+# cmd/loadgen and refreshes BENCH_fleet.json. The profiles carry full
+# fleet sizes (1e5..2.5e5 identities); FLEET_USERS/FLEET_DURATION scale
+# the run so the default completes in minutes — raise them for a
+# long-form run (e.g. FLEET_USERS=200000 FLEET_DURATION=60).
+FLEET_USERS ?= 4000
+FLEET_DURATION ?= 20
+bench-fleet:
+	$(GO) run ./cmd/loadgen -scenarios scenarios -out BENCH_fleet.json \
+		-users $(FLEET_USERS) -duration $(FLEET_DURATION)

@@ -1,0 +1,277 @@
+package fleet
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"smarteryou/internal/replication"
+	"smarteryou/internal/retrain"
+	"smarteryou/internal/store"
+	"smarteryou/internal/transport"
+)
+
+// Cluster is an in-process server topology a load run targets: either a
+// single (in-memory) authentication server, or a durable leader–follower
+// pair with the client traffic aimed at the follower so redirect and
+// failover behaviour is on the hot path.
+type Cluster struct {
+	// Addr is the client-facing address load traffic should target.
+	Addr string
+	// LeaderAddr is the leader's client-facing address ("" for single
+	// topology after failover).
+	LeaderAddr string
+
+	single *transport.Server
+
+	mu          sync.Mutex // guards leaderSrv/leader handoff between Failover and Close
+	leaderSrv   *transport.Server
+	leaderStore *store.Store
+	leader      *replication.Leader
+
+	followerSrv   *transport.Server
+	followerStore *store.Store
+	follower      *replication.Follower
+
+	failover sync.Once
+	closeOne sync.Once
+}
+
+// ClusterOptions configures StartCluster.
+type ClusterOptions struct {
+	// Key is the pre-shared HMAC key; required.
+	Key []byte
+	// Dir is a scratch directory for durable stores; required for the
+	// follower topology, ignored for single.
+	Dir string
+	// Logf receives server logs; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// retrainConfig maps scenario knobs onto the server retrain subsystem.
+func retrainConfig(k *RetrainKnobs) *retrain.Config {
+	if k == nil {
+		return nil
+	}
+	return &retrain.Config{
+		Threshold:     k.Threshold,
+		MinWindows:    k.MinWindows,
+		Cooldown:      k.RetrainCooldown(),
+		Budget:        k.Budget,
+		RecentWindows: k.RecentWindows,
+	}
+}
+
+// StartCluster builds and starts the scenario's topology on loopback
+// listeners. Close the cluster when the run finishes.
+func StartCluster(sc Scenario, w *Workload, opts ClusterOptions) (*Cluster, error) {
+	sc = sc.withDefaults()
+	switch sc.Cluster {
+	case ClusterSingle:
+		return startSingle(sc, w, opts)
+	case ClusterFollower:
+		return startFollowerPair(sc, w, opts)
+	default:
+		return nil, fmt.Errorf("fleet: unknown cluster topology %q", sc.Cluster)
+	}
+}
+
+func startSingle(sc Scenario, w *Workload, opts ClusterOptions) (*Cluster, error) {
+	srv, err := transport.NewServer(transport.ServerConfig{
+		Key:      opts.Key,
+		Detector: w.Detector,
+		Logf:     opts.Logf,
+		Retrain:  retrainConfig(sc.Retrain),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: single server: %w", err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		_ = srv.Close()
+		return nil, fmt.Errorf("fleet: start single server: %w", err)
+	}
+	return &Cluster{Addr: addr.String(), LeaderAddr: addr.String(), single: srv}, nil
+}
+
+func startFollowerPair(sc Scenario, w *Workload, opts ClusterOptions) (*Cluster, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: follower topology needs ClusterOptions.Dir for durable stores")
+	}
+	c := &Cluster{}
+	fail := func(step string, err error) (*Cluster, error) {
+		_ = c.Close()
+		return nil, fmt.Errorf("fleet: %s: %w", step, err)
+	}
+
+	var err error
+	c.leaderStore, err = store.Open(filepath.Join(opts.Dir, "leader"), store.Options{})
+	if err != nil {
+		return fail("leader store", err)
+	}
+	// The detector rides the WAL to the follower like any other record,
+	// mirroring how a real follower bootstraps.
+	if err := c.leaderStore.PublishDetector(w.Detector); err != nil {
+		return fail("publish detector", err)
+	}
+	c.leaderSrv, err = transport.NewServer(transport.ServerConfig{
+		Key:      opts.Key,
+		Detector: w.Detector,
+		Logf:     opts.Logf,
+		Store:    c.leaderStore,
+		Retrain:  retrainConfig(sc.Retrain),
+	})
+	if err != nil {
+		return fail("leader server", err)
+	}
+	leaderAddr, err := c.leaderSrv.Start("127.0.0.1:0")
+	if err != nil {
+		return fail("start leader", err)
+	}
+	c.LeaderAddr = leaderAddr.String()
+
+	c.leader, err = replication.NewLeader(replication.LeaderConfig{
+		Store:         c.leaderStore,
+		Key:           opts.Key,
+		AdvertiseAddr: c.LeaderAddr,
+		Logf:          opts.Logf,
+	})
+	if err != nil {
+		return fail("replication leader", err)
+	}
+	replAddr, err := c.leader.Serve("127.0.0.1:0")
+	if err != nil {
+		return fail("replication listener", err)
+	}
+
+	c.followerStore, err = store.Open(filepath.Join(opts.Dir, "follower"), store.Options{})
+	if err != nil {
+		return fail("follower store", err)
+	}
+	c.followerSrv, err = transport.NewServer(transport.ServerConfig{
+		Key:        opts.Key,
+		Detector:   w.Detector,
+		Logf:       opts.Logf,
+		Store:      c.followerStore,
+		Follower:   true,
+		LeaderAddr: c.LeaderAddr,
+	})
+	if err != nil {
+		return fail("follower server", err)
+	}
+	c.follower, err = replication.StartFollower(replication.FollowerConfig{
+		Store:        c.followerStore,
+		Key:          opts.Key,
+		LeaderAddr:   replAddr.String(),
+		Logf:         opts.Logf,
+		OnApply:      c.followerSrv.ApplyReplicatedOp,
+		OnSnapshot:   func(int) { c.followerSrv.ReloadFromStore() },
+		OnLeaderAddr: c.followerSrv.SetLeaderAddr,
+	})
+	if err != nil {
+		return fail("replication follower", err)
+	}
+	followerAddr, err := c.followerSrv.Start("127.0.0.1:0")
+	if err != nil {
+		return fail("start follower", err)
+	}
+	c.Addr = followerAddr.String()
+	return c, nil
+}
+
+// Failover kills the leader and promotes the follower in place; the
+// cluster's Addr keeps serving throughout. The sequence is lossless for
+// acknowledged writes: the leader's client listener closes first (every
+// acked enroll is then in the WAL), the replication stream drains into
+// the follower, and only then does the replication leader die and the
+// follower promote. Clients see the write path vanish for the transition
+// window — connection refused on the old leader, redirect-then-refused on
+// the follower — exactly the outage the harness wants to measure. Safe to
+// call once; later calls are no-ops. Returns the transition duration.
+func (c *Cluster) Failover() time.Duration {
+	var took time.Duration
+	c.failover.Do(func() {
+		if c.follower == nil {
+			return
+		}
+		start := time.Now()
+		c.mu.Lock()
+		leader, leaderSrv := c.leader, c.leaderSrv
+		c.leader, c.leaderSrv = nil, nil
+		c.mu.Unlock()
+		if leaderSrv != nil {
+			_ = leaderSrv.Close()
+		}
+		if leader != nil {
+			c.awaitCatchUp(5 * time.Second)
+			_ = leader.Close()
+		}
+		c.follower.Promote()
+		c.followerSrv.Promote()
+		c.LeaderAddr = c.Addr
+		took = time.Since(start)
+	})
+	return took
+}
+
+// awaitCatchUp polls until the follower store's durable cursors reach the
+// leader store's, or the timeout lapses (the promotion then proceeds with
+// whatever replicated — the acceptance test will catch real losses).
+func (c *Cluster) awaitCatchUp(timeout time.Duration) {
+	want := c.leaderStore.ShardLastSeqs()
+	deadline := time.Now().Add(timeout)
+	for {
+		got := c.followerStore.ShardLastSeqs()
+		caught := true
+		for i := range want {
+			if i >= len(got) || got[i] < want[i] {
+				caught = false
+				break
+			}
+		}
+		if caught || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Close tears the topology down. Stores close after their servers so
+// in-flight requests can still append.
+func (c *Cluster) Close() error {
+	var first error
+	c.closeOne.Do(func() {
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if c.single != nil {
+			keep(c.single.Close())
+		}
+		c.mu.Lock()
+		leader, leaderSrv := c.leader, c.leaderSrv
+		c.leader, c.leaderSrv = nil, nil
+		c.mu.Unlock()
+		if leader != nil {
+			keep(leader.Close())
+		}
+		if c.follower != nil {
+			keep(c.follower.Close())
+		}
+		if leaderSrv != nil {
+			keep(leaderSrv.Close())
+		}
+		if c.followerSrv != nil {
+			keep(c.followerSrv.Close())
+		}
+		if c.leaderStore != nil {
+			keep(c.leaderStore.Close())
+		}
+		if c.followerStore != nil {
+			keep(c.followerStore.Close())
+		}
+	})
+	return first
+}

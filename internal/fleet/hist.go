@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"math"
+	"time"
+)
+
+// Histogram is a geometric-bucket latency histogram: buckets grow by a
+// fixed ratio from 10 µs, covering 10 µs … ~5 min in ~96 buckets with
+// ≤ ~13% quantile error — plenty for SLO checks. Not safe for concurrent
+// use; each load worker owns one and they are merged afterwards.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    time.Duration
+	max    time.Duration
+}
+
+const (
+	histBuckets = 96
+	histMin     = 10 * time.Microsecond
+	histRatio   = 1.25
+)
+
+var histLogRatio = math.Log(histRatio)
+
+// bucketOf maps a latency to its bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= histMin {
+		return 0
+	}
+	b := int(math.Log(float64(d)/float64(histMin)) / histLogRatio)
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper is the inclusive upper bound of bucket b, used as the
+// reported quantile value.
+func bucketUpper(b int) time.Duration {
+	return time.Duration(float64(histMin) * math.Pow(histRatio, float64(b+1)))
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketOf(d)]++
+	h.n++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the average latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile returns the latency at quantile q in [0,1] (0 when empty).
+// The true value lies within one bucket ratio of the reported one.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := bucketUpper(b)
+			if u > h.max {
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Summary is the JSON-facing digest of a histogram, in milliseconds.
+type Summary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summarize digests the histogram.
+func (h *Histogram) Summarize() Summary {
+	ms := func(d time.Duration) float64 {
+		return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+	}
+	return Summary{
+		Count:  h.n,
+		MeanMs: ms(h.Mean()),
+		P50Ms:  ms(h.Quantile(0.50)),
+		P95Ms:  ms(h.Quantile(0.95)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		MaxMs:  ms(h.max),
+	}
+}

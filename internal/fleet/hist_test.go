@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+
+	// A known uniform ladder: 1..1000 ms. Geometric buckets guarantee the
+	// reported quantile within one bucket ratio (25%) of the true value.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		lo := time.Duration(float64(tc.want) / histRatio)
+		hi := time.Duration(float64(tc.want) * histRatio)
+		if got < lo || got > hi {
+			t.Errorf("q%.2f = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+	if h.Max() != 1000*time.Millisecond {
+		t.Errorf("max = %v, want 1s", h.Max())
+	}
+	if got := h.Quantile(1); got > h.Max() {
+		t.Errorf("q1 = %v exceeds max %v", got, h.Max())
+	}
+}
+
+func TestHistogramMergeMatchesCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, combined Histogram
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(200_000)) * time.Microsecond
+		combined.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != combined.Count() || a.Max() != combined.Max() || a.Mean() != combined.Mean() {
+		t.Fatalf("merge diverged: count %d/%d max %v/%v", a.Count(), combined.Count(), a.Max(), combined.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != combined.Quantile(q) {
+			t.Errorf("q%.2f: merged %v, combined %v", q, a.Quantile(q), combined.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const minimalScenario = `{
+  "name": "t", "seed": 1, "users": 100, "duration_seconds": 10,
+  "mix": {"authenticate": 1}, "slo": {"max_error_rate": 0.01}
+}`
+
+func TestParseScenario(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(m map[string]any)
+		wantErr string
+	}{
+		{name: "minimal ok"},
+		{
+			name:    "unknown field rejected",
+			mutate:  func(m map[string]any) { m["tpyo"] = 1 },
+			wantErr: "unknown field",
+		},
+		{
+			name:    "zero users",
+			mutate:  func(m map[string]any) { m["users"] = 0 },
+			wantErr: "users must be positive",
+		},
+		{
+			name:    "empty mix",
+			mutate:  func(m map[string]any) { m["mix"] = map[string]any{} },
+			wantErr: "no positive weights",
+		},
+		{
+			name:    "negative weight",
+			mutate:  func(m map[string]any) { m["mix"] = map[string]any{"authenticate": 1, "train": -0.5} },
+			wantErr: "negative mix weight",
+		},
+		{
+			name:    "bad topology",
+			mutate:  func(m map[string]any) { m["cluster"] = "quorum" },
+			wantErr: "unknown cluster topology",
+		},
+		{
+			name:    "failover needs follower",
+			mutate:  func(m map[string]any) { m["failover_at"] = 0.5 },
+			wantErr: "needs the follower topology",
+		},
+		{
+			name:    "failover outside unit interval",
+			mutate:  func(m map[string]any) { m["cluster"] = "follower"; m["failover_at"] = 1.5 },
+			wantErr: "outside (0,1)",
+		},
+		{
+			name:    "bad network",
+			mutate:  func(m map[string]any) { m["network"] = map[string]any{"loss": 1.5} },
+			wantErr: "loss",
+		},
+		{
+			name:    "bad retrain threshold",
+			mutate:  func(m map[string]any) { m["retrain"] = map[string]any{"threshold": 0} },
+			wantErr: "retrain threshold",
+		},
+		{
+			name:    "bad fidelity",
+			mutate:  func(m map[string]any) { m["mimic_fidelity"] = 2.0 },
+			wantErr: "mimic fidelity",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var m map[string]any
+			if err := json.Unmarshal([]byte(minimalScenario), &m); err != nil {
+				t.Fatal(err)
+			}
+			if tc.mutate != nil {
+				tc.mutate(m)
+			}
+			data, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := ParseScenario(data)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseScenario: %v", err)
+				}
+				if sc.Workers != defaultWorkers || sc.TemplateUsers != defaultTemplateUsers {
+					t.Fatalf("defaults not applied: %+v", sc)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestScenarioScaled(t *testing.T) {
+	sc, err := ParseScenario([]byte(minimalScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Users = 100000
+	sc.ScoredUsers = 64
+	sc.TemplateUsers = 10
+
+	small := sc.Scaled(200, 30)
+	if small.Users != 200 || small.DurationSeconds != 30 {
+		t.Fatalf("Scaled sizing: %+v", small)
+	}
+	// Proportional scaling would give cohort 0; the floors keep the
+	// workload meaningful.
+	if small.ScoredUsers != 8 || small.TemplateUsers != 5 {
+		t.Fatalf("Scaled floors: cohort %d templates %d, want 8 and 5", small.ScoredUsers, small.TemplateUsers)
+	}
+	if got := small.SteadyOps(); got != 200*30/6 {
+		t.Fatalf("SteadyOps = %d, want %d", got, 200*30/6)
+	}
+	// Scaling must never leave the scenario invalid.
+	if err := small.Validate(); err != nil {
+		t.Fatalf("scaled scenario invalid: %v", err)
+	}
+	if same := sc.Scaled(0, 0); same.Users != sc.Users || same.DurationSeconds != sc.DurationSeconds {
+		t.Fatalf("Scaled(0,0) should keep profile values, got %+v", same)
+	}
+}
+
+// TestShippedScenariosParse pins the contract that every profile under
+// scenarios/ loads, validates, and scales.
+func TestShippedScenariosParse(t *testing.T) {
+	scenarios, err := LoadDir("../../scenarios")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(scenarios) < 4 {
+		t.Fatalf("only %d shipped scenarios, want at least 4", len(scenarios))
+	}
+	names := make(map[string]bool)
+	for _, sc := range scenarios {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if sc.Users < 100000 {
+			t.Errorf("%s: shipped fleet size %d below the 1e5 floor", sc.Name, sc.Users)
+		}
+		if err := sc.Scaled(200, 30).Validate(); err != nil {
+			t.Errorf("%s: scaled-down profile invalid: %v", sc.Name, err)
+		}
+	}
+	for _, want := range []string{"baseline-lan", "flaky-bluetooth", "wan-follower-failover", "drift-decay-fleet", "mimicry-campaign"} {
+		if !names[want] {
+			t.Errorf("shipped scenario %q missing", want)
+		}
+	}
+}
+
+// FuzzScenarioConfig hammers the scenario parser: arbitrary documents
+// must never panic, and anything the parser accepts must validate and
+// survive a marshal/re-parse round trip.
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add([]byte(minimalScenario))
+	if scenarios, err := LoadDir("../../scenarios"); err == nil {
+		for _, sc := range scenarios {
+			if data, err := json.Marshal(sc); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(`{"name":"x","users":1,"duration_seconds":1,"mix":{"train":1},"network":{"delay_ms":5,"loss":0.1}}`))
+	f.Add([]byte(`{"name":"y","users":9,"duration_seconds":2,"mix":{"authenticate":1},"retrain":{"threshold":0.5}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScenario(data)
+		if err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails Validate: %v", err)
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		if _, err := ParseScenario(out); err != nil {
+			t.Fatalf("marshal/re-parse round trip rejected: %v\n%s", err, out)
+		}
+		if sc.SteadyOps() < 1 {
+			t.Fatalf("SteadyOps < 1 for valid scenario")
+		}
+	})
+}

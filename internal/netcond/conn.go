@@ -1,0 +1,94 @@
+package netcond
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn wraps a net.Conn with link conditioning. Writes pay the uplink
+// delay before the bytes reach the wire; the first Read after a Write
+// pays the downlink delay (the response's propagation), and subsequent
+// Reads of the same response burst pay only bandwidth pacing — so one
+// request/response round trip costs one RTT plus transfer time, without
+// double-charging multi-Read frame decoding.
+type Conn struct {
+	net.Conn
+
+	mu   sync.Mutex
+	up   *conditioner
+	down *conditioner
+	// awaitingReply is set by Write and consumed by the next Read: that
+	// read represents the response's first byte crossing the link.
+	awaitingReply bool
+}
+
+// Wrap conditions a connection as one flow seeded by seed. A zero config
+// returns conn unchanged — the pass-through guarantee tests rely on.
+func Wrap(conn net.Conn, cfg Config, seed int64) net.Conn {
+	if cfg.IsZero() {
+		return conn
+	}
+	return &Conn{
+		Conn: conn,
+		// Distinct sub-seeds keep the two directions independent while
+		// both remain deterministic in the flow seed.
+		up:   newConditioner(cfg, seed),
+		down: newConditioner(cfg, seed^0x5DEECE66D),
+	}
+}
+
+// Write delays the payload by the uplink conditions, then forwards it.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	d := c.up.transfer(time.Now(), len(p))
+	c.awaitingReply = true
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Conn.Write(p)
+}
+
+// Read forwards the read, then charges the downlink conditions: the full
+// segment penalty on the first read of a response, pacing only afterward.
+func (c *Conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n <= 0 {
+		return n, err
+	}
+	c.mu.Lock()
+	var d time.Duration
+	if c.awaitingReply {
+		c.awaitingReply = false
+		d = c.down.transfer(time.Now(), n)
+	} else {
+		d = c.down.pace(time.Now(), n)
+	}
+	c.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return n, err
+}
+
+// DialFunc matches transport.ClientConfig.Dial: establish one client
+// connection within timeout.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
+// Dialer returns a DialFunc that conditions every dialed connection with
+// cfg. Each flow gets its own deterministic generator derived from the
+// root seed and a per-dialer flow counter, so a multi-connection load run
+// replays identically for a given seed.
+func Dialer(cfg Config, seed int64) DialFunc {
+	var flows atomic.Int64
+	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		conn, err := net.DialTimeout(network, addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		flow := flows.Add(1)
+		return Wrap(conn, cfg, seed+flow*0x9E3779B9), nil
+	}
+}

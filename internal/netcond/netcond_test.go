@@ -1,0 +1,247 @@
+package netcond
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"fixed delay", Config{DelayMs: 10}, true},
+		{"jittered", Config{DelayMs: 10, JitterMs: 4, Distribution: "uniform"}, true},
+		{"lognormal", Config{DelayMs: 40, JitterMs: 20, Distribution: "lognormal"}, true},
+		{"full house", Config{DelayMs: 20, Loss: 0.05, Reorder: 0.02, BandwidthKbps: 256, MTU: 512}, true},
+		{"negative delay", Config{DelayMs: -1}, false},
+		{"loss one", Config{Loss: 1}, false},
+		{"loss negative", Config{Loss: -0.1}, false},
+		{"reorder one", Config{Reorder: 1}, false},
+		{"negative bandwidth", Config{BandwidthKbps: -5}, false},
+		{"negative mtu", Config{MTU: -1}, false},
+		{"unknown distribution", Config{DelayMs: 5, Distribution: "pareto"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+// TestDelayModelsSeedDeterministic: the same seed must reproduce the
+// exact delay sequence for every distribution, and different seeds must
+// diverge (for the non-degenerate models).
+func TestDelayModelsSeedDeterministic(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		varies bool
+	}{
+		{"fixed", Config{DelayMs: 10}, false},
+		{"uniform", Config{DelayMs: 10, JitterMs: 5}, true},
+		{"lognormal", Config{DelayMs: 10, JitterMs: 5, Distribution: "lognormal"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			draw := func(seed int64) []time.Duration {
+				m := tc.cfg.delayModel()
+				rng := rand.New(rand.NewSource(seed))
+				out := make([]time.Duration, 64)
+				for i := range out {
+					out[i] = m.Sample(rng)
+				}
+				return out
+			}
+			a, b := draw(7), draw(7)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("sample %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+				}
+			}
+			c := draw(8)
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if tc.varies && same {
+				t.Fatalf("different seeds produced identical sequences")
+			}
+			if !tc.varies && !same {
+				t.Fatalf("fixed delay varied with the seed")
+			}
+		})
+	}
+}
+
+// TestLossReorderConverge: over many segments the empirical loss and
+// reorder rates must converge to the configured probabilities.
+func TestLossReorderConverge(t *testing.T) {
+	cases := []struct {
+		name    string
+		loss    float64
+		reorder float64
+	}{
+		{"light", 0.01, 0.01},
+		{"moderate", 0.05, 0.03},
+		{"heavy", 0.20, 0.10},
+	}
+	const n = 200000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newConditioner(Config{DelayMs: 1, Loss: tc.loss, Reorder: tc.reorder}, 42)
+			lost, reordered := 0, 0
+			for i := 0; i < n; i++ {
+				out := c.segment()
+				if out.lost {
+					lost++
+				}
+				if out.reordered {
+					reordered++
+				}
+			}
+			// A segment is "lost" when the first transmission is lost,
+			// which happens with exactly probability Loss.
+			gotLoss := float64(lost) / n
+			if math.Abs(gotLoss-tc.loss) > 4*math.Sqrt(tc.loss*(1-tc.loss)/n)+1e-4 {
+				t.Errorf("loss rate = %.4f, want ≈ %.4f", gotLoss, tc.loss)
+			}
+			gotReorder := float64(reordered) / n
+			if math.Abs(gotReorder-tc.reorder) > 4*math.Sqrt(tc.reorder*(1-tc.reorder)/n)+1e-4 {
+				t.Errorf("reorder rate = %.4f, want ≈ %.4f", gotReorder, tc.reorder)
+			}
+		})
+	}
+}
+
+// TestPenaltiesRaiseDelay: loss and reordering must strictly add to the
+// base propagation delay.
+func TestPenaltiesRaiseDelay(t *testing.T) {
+	c := newConditioner(Config{DelayMs: 2, Loss: 0.3, Reorder: 0.2}, 11)
+	base := 2 * time.Millisecond
+	for i := 0; i < 10000; i++ {
+		out := c.segment()
+		if out.lost && out.delay < base+c.rto {
+			t.Fatalf("lost segment delay %v below base+RTO %v", out.delay, base+c.rto)
+		}
+		if !out.lost && !out.reordered && out.delay != base {
+			t.Fatalf("clean segment delay %v, want %v", out.delay, base)
+		}
+	}
+}
+
+// TestBandwidthPacing: transfers must queue behind each other at the
+// configured rate — 2×10KB at 800 kbps is ≥ 200 ms of serialization.
+func TestBandwidthPacing(t *testing.T) {
+	c := newConditioner(Config{BandwidthKbps: 800}, 3)
+	now := time.Now()
+	first := c.transfer(now, 10000)
+	second := c.transfer(now, 10000)
+	if first < 95*time.Millisecond || first > 110*time.Millisecond {
+		t.Errorf("first 10KB at 800kbps took %v, want ≈ 100ms", first)
+	}
+	if second < 190*time.Millisecond {
+		t.Errorf("queued transfer took %v, want ≥ 190ms (behind the first)", second)
+	}
+	// After the link drains, pacing resets.
+	later := now.Add(time.Second)
+	if d := c.transfer(later, 1000); d > 15*time.Millisecond {
+		t.Errorf("drained link still queued: %v", d)
+	}
+}
+
+// TestZeroConfigPassThrough: wrapping with a zero config must return the
+// identical connection, not a wrapper.
+func TestZeroConfigPassThrough(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if got := Wrap(a, Config{}, 1); got != a {
+		t.Fatalf("zero-config Wrap returned a wrapper (%T), want the original conn", got)
+	}
+	if got := Wrap(a, Config{DelayMs: 1}, 1); got == a {
+		t.Fatalf("non-zero Wrap returned the original conn")
+	}
+}
+
+// TestWrappedConnDelivers: a conditioned connection must still move bytes
+// intact, and a round trip must cost at least the configured RTT.
+func TestWrappedConnDelivers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 64)
+		n, _ := conn.Read(buf)
+		_, _ = conn.Write(buf[:n]) // echo
+	}()
+
+	dial := Dialer(Config{DelayMs: 20, Loss: 0, Reorder: 0}, 99)
+	conn, err := dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	msg := []byte("fleet-scale hello")
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 64)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	rtt := time.Since(start)
+	if !bytes.Equal(buf[:n], msg) {
+		t.Fatalf("echo = %q, want %q", buf[:n], msg)
+	}
+	if rtt < 40*time.Millisecond {
+		t.Errorf("round trip %v, want ≥ 40ms (2×20ms one-way delay)", rtt)
+	}
+}
+
+// TestDialerFlowsIndependentButDeterministic: two dialers with the same
+// root seed must condition their flows identically.
+func TestDialerFlowsIndependentButDeterministic(t *testing.T) {
+	cfg := Config{DelayMs: 5, JitterMs: 3, Loss: 0.1}
+	sample := func(seed int64) []time.Duration {
+		var out []time.Duration
+		for flow := int64(1); flow <= 3; flow++ {
+			c := newConditioner(cfg, seed+flow*0x9E3779B9)
+			for i := 0; i < 8; i++ {
+				out = append(out, c.segment().delay)
+			}
+		}
+		return out
+	}
+	a, b := sample(4242), sample(4242)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow delays differ at %d for identical root seeds", i)
+		}
+	}
+}

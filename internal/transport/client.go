@@ -17,7 +17,14 @@ type Client struct {
 	addr    string
 	key     []byte
 	timeout time.Duration
+	dial    DialFunc
+	retry   busyPolicy
 }
+
+// DialFunc establishes one client connection within timeout. Overriding
+// it injects link conditioning (netcond.Dialer) or custom routing under
+// the client without touching the protocol.
+type DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
 
 // ClientConfig configures a client.
 type ClientConfig struct {
@@ -29,6 +36,38 @@ type ClientConfig struct {
 	// system "does not pose a high requirement on the communication
 	// delay").
 	Timeout time.Duration
+	// Dial overrides how connections are established (default
+	// net.DialTimeout). The load harness uses this to route traffic
+	// through simulated network conditions.
+	Dial DialFunc
+	// BusyRetries caps how many times a busy response (saturated training
+	// pool, full retrain queue) is retried before the BusyError surfaces.
+	// 0 means the default of 3; negative disables retries entirely.
+	BusyRetries int
+	// MaxBusyBackoff caps the exponential backoff between busy retries
+	// (default 8 s). The first retry honors the server's hint exactly;
+	// each further retry doubles it up to this cap.
+	MaxBusyBackoff time.Duration
+}
+
+// busyPolicy is the capped-exponential backoff applied to busy responses.
+type busyPolicy struct {
+	retries int
+	cap     time.Duration
+}
+
+// newBusyPolicy resolves the config defaults.
+func newBusyPolicy(retries int, maxBackoff time.Duration) busyPolicy {
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	if maxBackoff <= 0 {
+		maxBackoff = 8 * time.Second
+	}
+	return busyPolicy{retries: retries, cap: maxBackoff}
 }
 
 // NewClient builds a client.
@@ -43,20 +82,35 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &Client{addr: cfg.Addr, key: cfg.Key, timeout: timeout}, nil
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	return &Client{
+		addr:    cfg.Addr,
+		key:     cfg.Key,
+		timeout: timeout,
+		dial:    dial,
+		retry:   newBusyPolicy(cfg.BusyRetries, cfg.MaxBusyBackoff),
+	}, nil
 }
 
-// withBusyRetry runs do and, when the server answers busy (a saturated
-// training pool or a full retrain queue), retries once after the server's
-// carried backoff hint. Busy means the request never started, so the
-// retry cannot double-run it. Every busy-capable request — client and
-// session alike — funnels through here so backoff behaviour stays in one
-// place.
-func withBusyRetry(do func() error) error {
+// run executes do and, when the server answers busy (a saturated training
+// pool or a full retrain queue), retries with capped exponential backoff
+// seeded by the server's carried hint: the first retry sleeps exactly the
+// hint, each further one doubles it up to the policy cap. Busy means the
+// request never started, so a retry cannot double-run it. Every
+// busy-capable request — client and session alike — funnels through here
+// so backoff behaviour stays in one place.
+func (p busyPolicy) run(do func() error) error {
 	err := do()
 	var busy *BusyError
-	if errors.As(err, &busy) {
-		time.Sleep(busy.RetryAfter)
+	for attempt := 0; attempt < p.retries && errors.As(err, &busy); attempt++ {
+		backoff := busy.RetryAfter << attempt
+		if backoff <= 0 || backoff > p.cap {
+			backoff = p.cap
+		}
+		time.Sleep(backoff)
 		err = do()
 	}
 	return err
@@ -66,7 +120,7 @@ func withBusyRetry(do func() error) error {
 // response payload into out. Use NewSession to reuse a connection across
 // multiple round trips.
 func (c *Client) roundTrip(reqType string, payload any, out any) error {
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	conn, err := c.dial("tcp", c.addr, c.timeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
@@ -116,9 +170,9 @@ func (c *Client) Train(userID string, p TrainParams) (*core.ModelBundle, error) 
 
 // TrainVersioned is Train plus the registry version the server published
 // the new model under (0 when the server runs without durable storage).
-// A busy response (saturated training pool) is retried once after the
-// server's suggested backoff — busy means the job never started, so the
-// retry cannot double-train.
+// Busy responses (saturated training pool) are retried with capped
+// exponential backoff seeded by the server's hint — busy means the job
+// never started, so a retry cannot double-train.
 func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle, int, error) {
 	req := trainRequest{
 		UserID:      userID,
@@ -129,7 +183,7 @@ func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle
 		Seed:        p.Seed,
 	}
 	var resp trainResponse
-	err := withBusyRetry(func() error {
+	err := c.retry.run(func() error {
 		return c.roundTrip(TypeTrain, req, &resp)
 	})
 	if err != nil {
@@ -186,11 +240,12 @@ func (c *Client) Authenticate(userID string, sample features.WindowSample) (Auth
 // the user now, entering the same coalesced, budgeted queue the drift
 // monitor feeds — it never triggers an immediate train. Queued reports
 // whether the user is (now) in the queue; reason explains a softer
-// outcome ("coalesced", "cooldown"). A busy response (full candidate
-// queue) is retried once after the carried backoff.
+// outcome ("coalesced", "cooldown"). Busy responses (full candidate
+// queue) are retried with capped exponential backoff from the carried
+// hint.
 func (c *Client) RequestRetrain(userID string) (queued bool, reason string, err error) {
 	var resp retrainResponse
-	err = withBusyRetry(func() error {
+	err = c.retry.run(func() error {
 		return c.roundTrip(TypeRetrain, retrainRequest{UserID: userID}, &resp)
 	})
 	return resp.Queued, resp.Reason, err

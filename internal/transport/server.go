@@ -182,6 +182,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	listener net.Listener
 	closed   chan struct{}
+
+	// connMu/conns track accepted connections so Close can interrupt
+	// serveConn loops blocked reading an idle keep-alive session; without
+	// it a server with connected clients would never finish closing.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // ServerConfig configures a new server.
@@ -252,6 +258,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		leaderAddr: cfg.LeaderAddr,
 		replInfo:   cfg.ReplicationInfo,
 		closed:     make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
 	if cfg.Follower {
 		if cfg.Store == nil {
@@ -393,11 +400,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.logf("accept: %v", err)
 			return
 		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer func() {
-				if err := conn.Close(); err != nil {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+				if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
 					s.logf("close conn: %v", err)
 				}
 			}()
@@ -406,18 +419,29 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener, waits for in-flight connections, stops the
-// drift scheduler, then drains the training pool. Connections waiting on
-// queued train jobs finish before wg.Wait returns; the scheduler closes
-// before the pool because its in-flight retrains run on pool workers, and
-// once it is closed nothing submits new jobs, so the pool is idle by the
-// time it is closed.
+// Close stops the listener, interrupts connections idling between
+// requests, waits for in-flight requests, stops the drift scheduler, then
+// drains the training pool. A request already dispatched completes (its
+// durable side effects land) even though the response write may fail;
+// connections waiting on queued train jobs finish before wg.Wait returns.
+// The scheduler closes before the pool because its in-flight retrains run
+// on pool workers, and once it is closed nothing submits new jobs, so the
+// pool is idle by the time it is closed.
 func (s *Server) Close() error {
 	close(s.closed)
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+	// Closing a tracked connection unblocks its serveConn from ReadFrame;
+	// a handler mid-dispatch finishes first and fails only on the write
+	// back. Clients treat the dropped connection as transient and retry
+	// elsewhere — exactly the failover path the load harness measures.
+	s.connMu.Lock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	s.closeDrift()
 	s.pool.close()

@@ -66,19 +66,21 @@ func doRequest(conn net.Conn, key []byte, timeout time.Duration, reqType string,
 type Session struct {
 	key     []byte
 	timeout time.Duration
+	retry   busyPolicy
 
 	mu   sync.Mutex
 	conn net.Conn
 }
 
-// NewSession dials the server once and returns a reusable session. Close
-// it when done.
+// NewSession dials the server once (through the client's dialer, so link
+// conditioning applies to the whole session flow) and returns a reusable
+// session. Close it when done.
 func (c *Client) NewSession() (*Session, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	conn, err := c.dial("tcp", c.addr, c.timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
-	return &Session{key: c.key, timeout: c.timeout, conn: conn}, nil
+	return &Session{key: c.key, timeout: c.timeout, retry: c.retry, conn: conn}, nil
 }
 
 // Close releases the underlying connection.
@@ -127,8 +129,8 @@ func (s *Session) FetchDetector() (*ctxdetect.Detector, error) {
 }
 
 // Train asks the server to train and returns the model bundle. Like
-// Client.TrainVersioned, a busy response is retried once after the
-// server's suggested backoff.
+// Client.TrainVersioned, busy responses are retried with capped
+// exponential backoff from the server's hint.
 func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error) {
 	req := trainRequest{
 		UserID:      userID,
@@ -139,7 +141,7 @@ func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error)
 		Seed:        p.Seed,
 	}
 	var resp trainResponse
-	err := withBusyRetry(func() error {
+	err := s.retry.run(func() error {
 		return s.roundTrip(TypeTrain, req, &resp)
 	})
 	if err != nil {
@@ -155,7 +157,7 @@ func (s *Session) Train(userID string, p TrainParams) (*core.ModelBundle, error)
 // connection; see Client.RequestRetrain.
 func (s *Session) RequestRetrain(userID string) (queued bool, reason string, err error) {
 	var resp retrainResponse
-	err = withBusyRetry(func() error {
+	err = s.retry.run(func() error {
 		return s.roundTrip(TypeRetrain, retrainRequest{UserID: userID}, &resp)
 	})
 	return resp.Queued, resp.Reason, err
