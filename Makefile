@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-auth bench-replication bench-fleet race-pool race-replication race-retrain check-scenarios
+.PHONY: check build vet fmt test race fuzz bench bench-auth bench-wire bench-replication bench-fleet race-pool race-replication race-retrain check-scenarios
 
 check: build vet fmt race race-pool race-replication race-retrain check-scenarios
 
@@ -35,6 +35,8 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenWAL -fuzztime=10s ./internal/store/
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeOpen -fuzztime=10s ./internal/transport/
+	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeV2 -fuzztime=10s ./internal/transport/
+	$(GO) test -run=Fuzz -fuzz=FuzzBatchAuthPayload -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzReplFrame -fuzztime=10s ./internal/replication/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeDriftStates -fuzztime=10s ./internal/retrain/
 	$(GO) test -run=Fuzz -fuzz=FuzzScenarioConfig -fuzztime=10s ./internal/fleet/
@@ -55,13 +57,21 @@ bench:
 bench-auth:
 	$(GO) test -run=xxx -bench='BenchmarkFFT300$$|BenchmarkFeatureExtraction6sWindow$$|BenchmarkAuthenticateWindow$$|BenchmarkEndToEndWindow$$|BenchmarkKRRTrain$$|BenchmarkIncrementalVsColdRetrain$$' -benchmem -benchtime=200x .
 
+# Wire-level per-window benchmarks: the four ways a window crosses the
+# wire (v1 JSON request, v2 binary request, v2 batch burst, v2 stream)
+# against one trained in-process server. Every bench iterates per window,
+# so the ns/op columns compare directly; the wire block in
+# BENCH_auth.json records the spread.
+bench-wire:
+	$(GO) test -run=xxx -bench='BenchmarkWireAuth' -benchmem ./internal/transport/
+
 # Focused race smoke over the shared FFT plan table and the server's
 # bounded train worker pool — the two concurrency surfaces of the hot
 # path. Fast enough for the tier-1 gate even though `race` already
 # covers these packages; this pins the named hammer tests so a future
 # test-file reshuffle cannot silently drop them.
 race-pool:
-	$(GO) test -race -run='TestTrainBackpressure|TestTrainPoolConcurrentHammer' ./internal/transport/
+	$(GO) test -race -run='TestTrainBackpressure|TestTrainPoolConcurrentHammer|TestStreamHammerConcurrentClose' ./internal/transport/
 	$(GO) test -race -run='TestPlanConcurrentSharing' ./internal/dsp/
 
 # Replication hammer under the race detector: concurrent enrollments

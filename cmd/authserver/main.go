@@ -23,6 +23,15 @@
 //     leader. SIGHUP promotes a running follower to leader in place;
 //     -promote starts a former follower's data dir as the new leader.
 //
+// On the wire the server speaks the binary envelope v2 by default and
+// answers every request in the format it arrived in, so legacy JSON-v1
+// clients keep working against the same listener with no flag day. v2
+// adds two hot-path shapes on top of the single authenticate request:
+// batched authentication (many windows for one user in one envelope, one
+// HMAC verification and one model resolution) and streaming sessions
+// (handshake once, then raw CRC-tailed window frames in and decision
+// frames out). Server stats report per-format traffic counters.
+//
 // -retrain enables autonomous drift-triggered retraining (the paper's
 // Fig. 7 loop, server side): every served authenticate decision updates a
 // per-user confidence EWMA, and users that sink below -retrain-threshold

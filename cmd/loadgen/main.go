@@ -89,8 +89,8 @@ func run() int {
 		if !rep.SLO.Pass {
 			verdict = "FAIL: " + strings.Join(rep.SLO.Violations, "; ")
 		}
-		fmt.Printf("%-24s %7d ops %8.1f ops/s  auth p99 %8.2fms  err %.4f  %s\n",
-			sc.Name, rep.TotalOps, rep.Throughput, authP99(rep), rep.ErrorRate, verdict)
+		fmt.Printf("%-24s %7d ops %8.1f ops/s  auth p99 %8.2fms%s  err %.4f  %s\n",
+			sc.Name, rep.TotalOps, rep.Throughput, authP99(rep), burstP99s(rep), rep.ErrorRate, verdict)
 	}
 	if len(reports) == 0 {
 		log.Print("loadgen: nothing ran")
@@ -180,4 +180,16 @@ func authP99(r *fleet.Report) float64 {
 		return op.Latency.P99Ms
 	}
 	return 0
+}
+
+// burstP99s renders the batch/stream per-window p99s when the scenario
+// carried burst traffic (empty otherwise, keeping the classic line).
+func burstP99s(r *fleet.Report) string {
+	var b strings.Builder
+	for _, op := range [...]string{"batch", "stream"} {
+		if o := r.Ops[op]; o != nil {
+			fmt.Fprintf(&b, "  %s p99/w %.2fms", op, o.Latency.P99Ms)
+		}
+	}
+	return b.String()
 }

@@ -87,28 +87,65 @@ func (a *Authenticator) Authenticate(sample features.WindowSample) (Decision, er
 	detector, bundle := a.detector, a.bundle
 	a.mu.RUnlock()
 
+	vp := vecPool.Get().(*[]float64)
+	d, vec, err := classify(detector, bundle, sample, *vp)
+	*vp = vec
+	vecPool.Put(vp)
+	return d, err
+}
+
+// classify runs one window through context detection, model dispatch and
+// scoring, reusing vec as the feature-vector buffer; it returns the
+// (possibly grown) buffer so callers can keep it across windows.
+func classify(detector *ctxdetect.Detector, bundle *ModelBundle, sample features.WindowSample, vec []float64) (Decision, []float64, error) {
 	d := Decision{Context: sensing.CoarseStationary, ContextConfidence: 1}
 	if bundle.Mode.UseContext {
 		det, err := detector.Detect(sample.Phone)
 		if err != nil {
-			return Decision{}, fmt.Errorf("core: context detection: %w", err)
+			return Decision{}, vec, fmt.Errorf("core: context detection: %w", err)
 		}
 		d.Context = det.Context
 		d.ContextConfidence = det.Confidence
 	}
 	model, err := bundle.ModelFor(d.Context)
 	if err != nil {
-		return Decision{}, err
+		return Decision{}, vec, err
 	}
-	vp := vecPool.Get().(*[]float64)
-	vec := sample.AppendVector((*vp)[:0], bundle.Mode.Combined)
+	vec = sample.AppendVector(vec[:0], bundle.Mode.Combined)
 	score, err := model.Score(vec)
-	*vp = vec
-	vecPool.Put(vp)
 	if err != nil {
-		return Decision{}, fmt.Errorf("core: classify: %w", err)
+		return Decision{}, vec, fmt.Errorf("core: classify: %w", err)
 	}
 	d.Score = score
 	d.Accepted = score > 0
-	return d, nil
+	return d, vec, nil
+}
+
+// AuthenticateBatch classifies many windows in one call, appending the
+// decisions to dst (pass nil or a recycled slice). The bundle is snapped
+// once and one pooled feature-vector buffer is reused across the whole
+// batch — the server's batch and streaming wire paths lean on this to
+// keep the per-window cost at the classify arithmetic alone.
+func (a *Authenticator) AuthenticateBatch(samples []features.WindowSample, dst []Decision) ([]Decision, error) {
+	a.mu.RLock()
+	detector, bundle := a.detector, a.bundle
+	a.mu.RUnlock()
+
+	vp := vecPool.Get().(*[]float64)
+	vec := *vp
+	var err error
+	for _, sample := range samples {
+		var d Decision
+		d, vec, err = classify(detector, bundle, sample, vec)
+		if err != nil {
+			break
+		}
+		dst = append(dst, d)
+	}
+	*vp = vec
+	vecPool.Put(vp)
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
 }

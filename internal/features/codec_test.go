@@ -1,0 +1,113 @@
+package features
+
+import (
+	"testing"
+
+	"smarteryou/internal/binio"
+	"smarteryou/internal/sensing"
+)
+
+func testSample(id string, ctx sensing.Context) WindowSample {
+	var w WindowSample
+	w.UserID = id
+	w.Context = ctx
+	w.Day = 3.25
+	fill := func(s *SensorFeatures, base float64) {
+		s.Mean, s.Var, s.Max, s.Min, s.Ran = base, base+1, base+2, base+3, base+4
+		s.Peak, s.PeakF, s.Peak2, s.Peak2F = base+5, base+6, base+7, base+8
+	}
+	fill(&w.Phone.Acc, 1)
+	fill(&w.Phone.Gyr, 10)
+	fill(&w.Watch.Acc, 100)
+	fill(&w.Watch.Gyr, 1000)
+	return w
+}
+
+func TestSampleBinaryRoundTrip(t *testing.T) {
+	want := testSample("alice", sensing.Context(2))
+	buf := AppendSampleBinary(nil, want)
+	if len(buf) != EncodedSampleSize(want) {
+		t.Fatalf("encoded %d bytes, EncodedSampleSize predicts %d", len(buf), EncodedSampleSize(want))
+	}
+	r := binio.NewReader(buf)
+	got := ReadSampleBinary(r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d trailing bytes", r.Remaining())
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSampleListRoundTrip(t *testing.T) {
+	want := []WindowSample{
+		testSample("a", 0),
+		testSample("b", 3),
+		testSample("longer-user-id-for-varint-length", 1),
+	}
+	buf := AppendSampleListBinary(nil, want)
+	if len(buf) != EncodedSampleListSize(want) {
+		t.Fatalf("encoded %d bytes, EncodedSampleListSize predicts %d", len(buf), EncodedSampleListSize(want))
+	}
+	r := binio.NewReader(buf)
+	got := ReadSampleListBinary(r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d mismatch:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSampleListBoundsCount pins the allocation guard: a huge count prefix
+// over a short buffer must fail instead of allocating.
+func TestSampleListBoundsCount(t *testing.T) {
+	buf := binio.AppendUvarint(nil, 1<<40)
+	r := binio.NewReader(buf)
+	if out := ReadSampleListBinary(r); out != nil {
+		t.Fatalf("decoded %d samples from a corrupt count", len(out))
+	}
+	if r.Err() == nil {
+		t.Fatal("corrupt sample count accepted")
+	}
+}
+
+// TestSampleRejectsHugeContext pins the corruption check on the context
+// enum range.
+func TestSampleRejectsHugeContext(t *testing.T) {
+	w := testSample("x", 0)
+	buf := binio.AppendString(nil, w.UserID)
+	buf = binio.AppendUvarint(buf, 1<<40) // implausible context
+	buf = binio.AppendF64(buf, w.Day)
+	buf = AppendSensorBinary(buf, w.Phone.Acc)
+	buf = AppendSensorBinary(buf, w.Phone.Gyr)
+	buf = AppendSensorBinary(buf, w.Watch.Acc)
+	buf = AppendSensorBinary(buf, w.Watch.Gyr)
+	r := binio.NewReader(buf)
+	ReadSampleBinary(r)
+	if r.Err() == nil {
+		t.Fatal("implausible context value accepted")
+	}
+}
+
+// TestTruncatedSampleSticks pins sticky-error behaviour: a truncated
+// buffer fails once and every later read returns zero values.
+func TestTruncatedSampleSticks(t *testing.T) {
+	buf := AppendSampleBinary(nil, testSample("alice", 1))
+	r := binio.NewReader(buf[:len(buf)-5])
+	got := ReadSampleBinary(r)
+	if r.Err() == nil {
+		t.Fatal("truncated sample accepted")
+	}
+	if got.Watch.Gyr.Peak2F != 0 {
+		t.Fatalf("reads after error returned data: %+v", got.Watch.Gyr)
+	}
+}

@@ -46,10 +46,12 @@ const (
 	opReenroll
 	opTrain
 	opMimic
+	opBatch
+	opStream
 	opKinds
 )
 
-var opNames = [opKinds]string{"authenticate", "enroll", "reenroll", "train", "mimicry"}
+var opNames = [opKinds]string{"authenticate", "enroll", "reenroll", "train", "mimicry", "batch", "stream"}
 
 // tally is one worker's private accounting for one op kind.
 type tally struct {
@@ -139,13 +141,19 @@ func (wk *worker) closeAll() {
 
 // execute runs one op with redirect-following and transient-error
 // retries, updating the op kind's tally (latency includes every hop and
-// backoff — the device-perceived op time).
-func (wk *worker) execute(kind int, op func(s *transport.Session) error) outcome {
+// backoff — the device-perceived op time). Burst ops (batch, stream)
+// carry more than one window; their elapsed time is divided by windows
+// so the histogram records per-window latency and stays comparable with
+// the single-window authenticate op.
+func (wk *worker) execute(kind, windows int, op func(s *transport.Session) error) outcome {
 	const attempts = 4
+	if windows < 1 {
+		windows = 1
+	}
 	t := &wk.tallies[kind]
 	start := time.Now()
 	out, errMsg := wk.attemptLoop(attempts, t, op)
-	t.hist.Observe(time.Since(start))
+	t.hist.Observe(time.Since(start) / time.Duration(windows))
 	switch out {
 	case outcomeOK:
 		t.ok++
@@ -441,7 +449,7 @@ func stageOne(wk *worker, id string, enroll []features.WindowSample, seed int64)
 func cumulativeMix(m Mix) [opKinds]float64 {
 	var cum [opKinds]float64
 	acc := 0.0
-	for kind, w := range [opKinds]float64{m.Authenticate, m.Enroll, m.Reenroll, m.Train, m.Mimicry} {
+	for kind, w := range [opKinds]float64{m.Authenticate, m.Enroll, m.Reenroll, m.Train, m.Mimicry, m.Batch, m.Stream} {
 		acc += w
 		cum[kind] = acc
 	}
@@ -469,7 +477,7 @@ func runOp(sc Scenario, w *Workload, wk *worker, kind int, progress float64, fre
 	case opAuth:
 		sample := persona.Apply(id, t.Auth[driftIndex(progress, len(t.Auth), wk.rng)])
 		var dec transport.AuthDecision
-		out := wk.execute(kind, func(s *transport.Session) error {
+		out := wk.execute(kind, 1, func(s *transport.Session) error {
 			var err error
 			dec, err = s.Authenticate(id, sample)
 			return err
@@ -486,7 +494,7 @@ func runOp(sc Scenario, w *Workload, wk *worker, kind int, progress float64, fre
 		// victim's persona shapes the mimic window too.
 		sample := persona.Apply(id, t.Mimic[wk.rng.Intn(len(t.Mimic))])
 		var dec transport.AuthDecision
-		out := wk.execute(kind, func(s *transport.Session) error {
+		out := wk.execute(kind, 1, func(s *transport.Session) error {
 			var err error
 			dec, err = s.Authenticate(id, sample)
 			return err
@@ -497,6 +505,68 @@ func runOp(sc Scenario, w *Workload, wk *worker, kind int, progress float64, fre
 			} else {
 				wk.tallies[kind].rejected++
 			}
+		}
+	case opBatch:
+		// A burst of recent genuine windows in one round trip — the
+		// envelope-v2 batch op. Decisions are tallied per window.
+		samples := burstSamples(persona, id, t.Auth, sc.BatchWindows, progress, wk.rng)
+		var decs []transport.AuthDecision
+		out := wk.execute(kind, len(samples), func(s *transport.Session) error {
+			var err error
+			decs, err = s.AuthenticateBatch(id, samples)
+			return err
+		})
+		if out == outcomeOK {
+			for _, dec := range decs {
+				if dec.Accepted {
+					wk.tallies[kind].accepted++
+				} else {
+					wk.tallies[kind].rejected++
+				}
+			}
+		}
+	case opStream:
+		// One streaming session: handshake, a pipelined run of windows,
+		// close. The recorded latency is the whole session divided by its
+		// window count, so the stream op's histogram is per-window.
+		samples := burstSamples(persona, id, t.Auth, sc.StreamWindows, progress, wk.rng)
+		var accepted, rejected uint64
+		out := wk.execute(kind, len(samples), func(s *transport.Session) error {
+			accepted, rejected = 0, 0
+			st, err := s.StartStream(id)
+			if err != nil {
+				return err
+			}
+			for _, sample := range samples {
+				if err = st.Push(sample); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				for range samples {
+					var dec transport.AuthDecision
+					if dec, err = st.Recv(); err != nil {
+						break
+					}
+					if dec.Accepted {
+						accepted++
+					} else {
+						rejected++
+					}
+				}
+			}
+			// Close drains and hands the connection back on success; on a
+			// poisoned stream it tears the session down, and attemptLoop's
+			// error path drops it from the pool.
+			closeErr := st.Close()
+			if err != nil {
+				return err
+			}
+			return closeErr
+		})
+		if out == outcomeOK {
+			wk.tallies[kind].accepted += accepted
+			wk.tallies[kind].rejected += rejected
 		}
 	case opEnroll:
 		tail := sc.Users - sc.ScoredUsers
@@ -509,7 +579,7 @@ func runOp(sc Scenario, w *Workload, wk *worker, kind int, progress float64, fre
 		fid := userID(sc.Name, idx)
 		ft := w.Templates[idx%len(w.Templates)]
 		enroll := NewPersona(idx).ApplyAll(fid, ft.Enroll)
-		out := wk.execute(kind, func(s *transport.Session) error {
+		out := wk.execute(kind, 1, func(s *transport.Session) error {
 			_, err := s.Enroll(fid, enroll)
 			return err
 		})
@@ -525,16 +595,28 @@ func runOp(sc Scenario, w *Workload, wk *worker, kind int, progress float64, fre
 			beg = 0
 		}
 		recent := persona.ApplyAll(id, t.Auth[beg:end])
-		wk.execute(kind, func(s *transport.Session) error {
+		wk.execute(kind, 1, func(s *transport.Session) error {
 			_, err := s.ReplaceEnrollment(id, recent)
 			return err
 		})
 	case opTrain:
-		wk.execute(kind, func(s *transport.Session) error {
+		wk.execute(kind, 1, func(s *transport.Session) error {
 			_, err := s.Train(id, stageTrainParams(sc.Seed+int64(cohort)))
 			return err
 		})
 	}
+}
+
+// burstSamples picks n consecutive genuine windows ending at the run's
+// drift position — the shape of a device uploading its backlog in one
+// burst.
+func burstSamples(persona Persona, id string, pool []features.WindowSample, n int, progress float64, rng *rand.Rand) []features.WindowSample {
+	end := driftIndex(progress, len(pool), rng) + 1
+	beg := end - n
+	if beg < 0 {
+		beg = 0
+	}
+	return persona.ApplyAll(id, pool[beg:end])
 }
 
 // buildReport merges the worker tallies into the published report.
@@ -591,8 +673,17 @@ func buildReport(sc Scenario, workers []*worker, stageSeconds, wall float64) *Re
 	if rep.TotalOps > 0 {
 		rep.ErrorRate = round4(float64(rep.Errors) / float64(rep.TotalOps))
 	}
-	if auth := rep.Ops[opNames[opAuth]]; auth != nil && auth.Accepted+auth.Rejected > 0 {
-		rep.GenuineAccept = round4(float64(auth.Accepted) / float64(auth.Accepted+auth.Rejected))
+	// Genuine windows flow through three op shapes — single authenticate,
+	// batch bursts and streams — so the accept fraction pools all of them.
+	var genAccepted, genRejected uint64
+	for _, kind := range [...]int{opAuth, opBatch, opStream} {
+		if o := rep.Ops[opNames[kind]]; o != nil {
+			genAccepted += o.Accepted
+			genRejected += o.Rejected
+		}
+	}
+	if genAccepted+genRejected > 0 {
+		rep.GenuineAccept = round4(float64(genAccepted) / float64(genAccepted+genRejected))
 	}
 	if mim := rep.Ops[opNames[opMimic]]; mim != nil && mim.Accepted+mim.Rejected > 0 {
 		rep.MimicAccept = round4(float64(mim.Accepted) / float64(mim.Accepted+mim.Rejected))

@@ -40,11 +40,20 @@ type Mix struct {
 	// Mimicry scores a mimicry-attack window against a cohort user's
 	// model (internal/attack's masquerade, driven over the wire).
 	Mimicry float64 `json:"mimicry,omitempty"`
+	// Batch scores a burst of BatchWindows genuine windows for one cohort
+	// user in a single round trip (the envelope-v2 batch op). Its latency
+	// is recorded per window (burst time / windows), so it compares
+	// directly against the authenticate op.
+	Batch float64 `json:"batch,omitempty"`
+	// Stream opens a streaming session for a cohort user, pushes
+	// StreamWindows genuine windows through it and closes it. Latency is
+	// per window, handshake and close included.
+	Stream float64 `json:"stream,omitempty"`
 }
 
 // total sums the weights.
 func (m Mix) total() float64 {
-	return m.Authenticate + m.Enroll + m.Reenroll + m.Train + m.Mimicry
+	return m.Authenticate + m.Enroll + m.Reenroll + m.Train + m.Mimicry + m.Batch + m.Stream
 }
 
 // RetrainKnobs is the scenario's view of the server-side drift-retrain
@@ -70,6 +79,12 @@ type SLO struct {
 	EnrollP99Ms float64 `json:"enroll_p99_ms,omitempty"`
 	// TrainP99Ms bounds the train p99 latency (busy retries included).
 	TrainP99Ms float64 `json:"train_p99_ms,omitempty"`
+	// BatchP99Ms bounds the batch op's per-window p99 latency (the burst
+	// round trip divided by its window count).
+	BatchP99Ms float64 `json:"batch_p99_ms,omitempty"`
+	// StreamP99Ms bounds the stream op's per-window p99 latency (session
+	// handshake, pushed windows and close, divided by the window count).
+	StreamP99Ms float64 `json:"stream_p99_ms,omitempty"`
 	// MaxErrorRate bounds unexpected errors across all ops. Redirects and
 	// busy responses are protocol outcomes, not errors.
 	MaxErrorRate float64 `json:"max_error_rate"`
@@ -119,6 +134,11 @@ type Scenario struct {
 	AuthCadenceSeconds float64 `json:"auth_cadence_seconds,omitempty"`
 	// Workers is the number of concurrent load connections (default 16).
 	Workers int `json:"workers,omitempty"`
+	// BatchWindows sizes each batch op's burst (default 16).
+	BatchWindows int `json:"batch_windows,omitempty"`
+	// StreamWindows is how many windows each stream op pushes through its
+	// session before closing it (default 32).
+	StreamWindows int `json:"stream_windows,omitempty"`
 	// Mix weights the op types.
 	Mix Mix `json:"mix"`
 	// Network conditions every client flow (zero = perfect loopback).
@@ -148,6 +168,8 @@ const (
 	defaultTemplateUsers = 10
 	defaultAuthCadence   = 6.0
 	defaultWorkers       = 16
+	defaultBatchWindows  = 16
+	defaultStreamWindows = 32
 )
 
 // withDefaults resolves the zero-value knobs.
@@ -166,6 +188,12 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Workers == 0 {
 		s.Workers = defaultWorkers
+	}
+	if s.BatchWindows == 0 {
+		s.BatchWindows = defaultBatchWindows
+	}
+	if s.StreamWindows == 0 {
+		s.StreamWindows = defaultStreamWindows
 	}
 	if s.Cluster == "" {
 		s.Cluster = ClusterSingle
@@ -196,8 +224,11 @@ func (s Scenario) Validate() error {
 	if s.Mix.total() <= 0 {
 		return fmt.Errorf("fleet: scenario %s: op mix has no positive weights", s.Name)
 	}
-	if s.Mix.Authenticate < 0 || s.Mix.Enroll < 0 || s.Mix.Reenroll < 0 || s.Mix.Train < 0 || s.Mix.Mimicry < 0 {
+	if s.Mix.Authenticate < 0 || s.Mix.Enroll < 0 || s.Mix.Reenroll < 0 || s.Mix.Train < 0 || s.Mix.Mimicry < 0 || s.Mix.Batch < 0 || s.Mix.Stream < 0 {
 		return fmt.Errorf("fleet: scenario %s: negative mix weight", s.Name)
+	}
+	if s.BatchWindows < 0 || s.StreamWindows < 0 {
+		return fmt.Errorf("fleet: scenario %s: negative burst sizing knob", s.Name)
 	}
 	if s.MimicFidelity < 0 || s.MimicFidelity > 1 {
 		return fmt.Errorf("fleet: scenario %s: mimic fidelity %g outside [0,1]", s.Name, s.MimicFidelity)

@@ -4,17 +4,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"math"
 
+	"smarteryou/internal/binio"
 	"smarteryou/internal/features"
-	"smarteryou/internal/sensing"
 )
 
 // Binary payload format (format byte 0x01), introduced to replace the
-// ~1.5 KB/window JSON records on the enroll hot path. Feature vectors are
-// fixed dimension (Section V-C: nine candidate statistics per sensor, two
-// sensors per device, two devices), so a window encodes to a fixed-width
-// little-endian block plus two short length-prefixed strings:
+// ~1.5 KB/window JSON records on the enroll hot path. The WindowSample
+// block encoding lives in internal/features (codec.go) and is shared with
+// the wire protocol's envelope v2; the decode cursor is binio.Reader.
 //
 //	record payload:
 //	  [0]    format byte (binFormatV1; legacy JSON payloads start with '{')
@@ -23,13 +21,6 @@ import (
 //	  user   uvarint length + bytes
 //	  enroll/replace: uvarint sample count, then each WindowSample
 //	  publish-model:  uvarint version, uvarint length + bundle JSON
-//
-//	WindowSample:
-//	  user id   uvarint length + bytes
-//	  context   uvarint
-//	  day       float64 LE
-//	  4 sensor blocks (phone acc, phone gyr, watch acc, watch gyr),
-//	  each 9 float64 LE in SensorFeatures field order
 //
 // The format byte is the version/dispatch switch: decodeRecord inspects
 // the first payload byte and routes to this decoder or the legacy JSON
@@ -47,18 +38,6 @@ const (
 	binOpReplace = 2
 	binOpPublish = 3
 )
-
-// sensorFeatureCount is the fixed SensorFeatures dimensionality.
-const sensorFeatureCount = 9
-
-// sampleFixedBytes is the fixed-width portion of an encoded WindowSample:
-// the day stamp plus four sensor blocks.
-const sampleFixedBytes = 8 + 4*sensorFeatureCount*8
-
-// minSampleBytes is the smallest possible encoded WindowSample (empty
-// user id, one-byte context varint). Used to bound count prefixes so a
-// corrupt record cannot cause a huge allocation.
-const minSampleBytes = 1 + 1 + sampleFixedBytes
 
 func opByte(op string) (byte, error) {
 	switch op {
@@ -86,231 +65,56 @@ func opString(b byte) (string, error) {
 	}
 }
 
-func appendString(buf []byte, s string) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(s)))
-	return append(buf, s...)
-}
-
-func appendSensor(buf []byte, s features.SensorFeatures) []byte {
-	for _, v := range [sensorFeatureCount]float64{
-		s.Mean, s.Var, s.Max, s.Min, s.Ran, s.Peak, s.PeakF, s.Peak2, s.Peak2F,
-	} {
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
-	}
-	return buf
-}
-
-func appendWindowSample(buf []byte, w features.WindowSample) []byte {
-	buf = appendString(buf, w.UserID)
-	buf = binary.AppendUvarint(buf, uint64(w.Context))
-	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.Day))
-	buf = appendSensor(buf, w.Phone.Acc)
-	buf = appendSensor(buf, w.Phone.Gyr)
-	buf = appendSensor(buf, w.Watch.Acc)
-	buf = appendSensor(buf, w.Watch.Gyr)
-	return buf
-}
-
-// encodedSampleSize returns the exact encoded size of one sample, for
-// preallocating record buffers.
-func encodedSampleSize(w features.WindowSample) int {
-	idLen := len(w.UserID)
-	return uvarintLen(uint64(idLen)) + idLen + uvarintLen(uint64(w.Context)) + sampleFixedBytes
-}
-
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		v >>= 7
-		n++
-	}
-	return n
-}
-
 // encodeBinaryPayload encodes a record in the v1 binary format.
 func encodeBinaryPayload(rec walRecord) ([]byte, error) {
 	op, err := opByte(rec.Op)
 	if err != nil {
 		return nil, err
 	}
-	size := 10 + uvarintLen(uint64(len(rec.User))) + len(rec.User) + binary.MaxVarintLen64
-	for _, w := range rec.Samples {
-		size += encodedSampleSize(w)
-	}
+	size := 10 + binio.UvarintLen(uint64(len(rec.User))) + len(rec.User) + binary.MaxVarintLen64
+	size += features.EncodedSampleListSize(rec.Samples)
 	size += binary.MaxVarintLen64 + len(rec.Bundle)
 	buf := make([]byte, 0, size)
 	buf = append(buf, binFormatV1, op)
-	buf = binary.LittleEndian.AppendUint64(buf, rec.Seq)
-	buf = appendString(buf, rec.User)
+	buf = binio.AppendU64(buf, rec.Seq)
+	buf = binio.AppendString(buf, rec.User)
 	switch op {
 	case binOpEnroll, binOpReplace:
-		buf = binary.AppendUvarint(buf, uint64(len(rec.Samples)))
-		for _, w := range rec.Samples {
-			buf = appendWindowSample(buf, w)
-		}
+		buf = features.AppendSampleListBinary(buf, rec.Samples)
 	case binOpPublish:
-		buf = binary.AppendUvarint(buf, uint64(rec.Version))
-		buf = binary.AppendUvarint(buf, uint64(len(rec.Bundle)))
-		buf = append(buf, rec.Bundle...)
+		buf = binio.AppendUvarint(buf, uint64(rec.Version))
+		buf = binio.AppendBytes(buf, rec.Bundle)
 	}
 	return buf, nil
-}
-
-// binReader is a cursor over a binary payload. The first decode error
-// sticks; every accessor returns zero values afterwards, so decoders can
-// read a whole structure and check err once. It never reads past the
-// buffer and never allocates more than the buffer can justify.
-type binReader struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (r *binReader) fail(format string, args ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf(format, args...)
-	}
-}
-
-func (r *binReader) remaining() int { return len(r.b) - r.off }
-
-func (r *binReader) byte() byte {
-	if r.err != nil {
-		return 0
-	}
-	if r.remaining() < 1 {
-		r.fail("truncated byte")
-		return 0
-	}
-	v := r.b[r.off]
-	r.off++
-	return v
-}
-
-func (r *binReader) u64() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	if r.remaining() < 8 {
-		r.fail("truncated uint64")
-		return 0
-	}
-	v := binary.LittleEndian.Uint64(r.b[r.off:])
-	r.off += 8
-	return v
-}
-
-func (r *binReader) f64() float64 { return math.Float64frombits(r.u64()) }
-
-func (r *binReader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.b[r.off:])
-	if n <= 0 {
-		r.fail("bad uvarint")
-		return 0
-	}
-	r.off += n
-	return v
-}
-
-func (r *binReader) str() string {
-	n := r.uvarint()
-	if r.err != nil {
-		return ""
-	}
-	if n > uint64(r.remaining()) {
-		r.fail("string length %d exceeds %d remaining bytes", n, r.remaining())
-		return ""
-	}
-	s := string(r.b[r.off : r.off+int(n)])
-	r.off += int(n)
-	return s
-}
-
-func (r *binReader) bytes() []byte {
-	n := r.uvarint()
-	if r.err != nil {
-		return nil
-	}
-	if n > uint64(r.remaining()) {
-		r.fail("blob length %d exceeds %d remaining bytes", n, r.remaining())
-		return nil
-	}
-	out := append([]byte(nil), r.b[r.off:r.off+int(n)]...)
-	r.off += int(n)
-	return out
-}
-
-func (r *binReader) sensor() features.SensorFeatures {
-	return features.SensorFeatures{
-		Mean: r.f64(), Var: r.f64(), Max: r.f64(), Min: r.f64(), Ran: r.f64(),
-		Peak: r.f64(), PeakF: r.f64(), Peak2: r.f64(), Peak2F: r.f64(),
-	}
-}
-
-func (r *binReader) windowSample() features.WindowSample {
-	var w features.WindowSample
-	w.UserID = r.str()
-	w.Context = contextFromUint(r.uvarint(), r)
-	w.Day = r.f64()
-	w.Phone.Acc = r.sensor()
-	w.Phone.Gyr = r.sensor()
-	w.Watch.Acc = r.sensor()
-	w.Watch.Gyr = r.sensor()
-	return w
-}
-
-func (r *binReader) sampleList() []features.WindowSample {
-	n := r.uvarint()
-	if r.err != nil {
-		return nil
-	}
-	if n > uint64(r.remaining()/minSampleBytes)+1 {
-		r.fail("sample count %d exceeds %d remaining bytes", n, r.remaining())
-		return nil
-	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]features.WindowSample, 0, n)
-	for i := uint64(0); i < n && r.err == nil; i++ {
-		out = append(out, r.windowSample())
-	}
-	if r.err != nil {
-		return nil
-	}
-	return out
 }
 
 // decodeBinaryPayload decodes a v1 binary payload (the caller has already
 // checked the format byte). The payload must be fully consumed — trailing
 // bytes mean a framing bug or corruption.
 func decodeBinaryPayload(payload []byte) (walRecord, error) {
-	r := &binReader{b: payload}
-	if fb := r.byte(); fb != binFormatV1 {
+	r := binio.NewReader(payload)
+	if fb := r.Byte(); fb != binFormatV1 {
 		return walRecord{}, fmt.Errorf("unsupported binary format %d", fb)
 	}
-	op, err := opString(r.byte())
-	if err != nil && r.err == nil {
-		r.err = err
+	op, err := opString(r.Byte())
+	if err != nil && r.Err() == nil {
+		r.Fail("%s", err)
 	}
 	rec := walRecord{Op: op}
-	rec.Seq = r.u64()
-	rec.User = r.str()
+	rec.Seq = r.U64()
+	rec.User = r.Str()
 	switch op {
 	case opEnroll, opReplace:
-		rec.Samples = r.sampleList()
+		rec.Samples = features.ReadSampleListBinary(r)
 	case opPublish:
-		rec.Version = int(r.uvarint())
-		rec.Bundle = r.bytes()
+		rec.Version = int(r.Uvarint())
+		rec.Bundle = r.Bytes()
 	}
-	if r.err != nil {
-		return walRecord{}, r.err
+	if err := r.Err(); err != nil {
+		return walRecord{}, err
 	}
-	if r.off != len(payload) {
-		return walRecord{}, fmt.Errorf("%d trailing bytes after record", len(payload)-r.off)
+	if r.Remaining() != 0 {
+		return walRecord{}, fmt.Errorf("%d trailing bytes after record", r.Remaining())
 	}
 	return rec, nil
 }
@@ -332,9 +136,7 @@ func encodeBinarySnapshot(snap snapshot) []byte {
 	size := 9 + 8
 	for id, samples := range snap.Users {
 		size += 2*binary.MaxVarintLen64 + len(id)
-		for _, w := range samples {
-			size += encodedSampleSize(w)
-		}
+		size += features.EncodedSampleListSize(samples)
 	}
 	for id, versions := range snap.Models {
 		size += 2*binary.MaxVarintLen64 + len(id)
@@ -344,23 +146,19 @@ func encodeBinarySnapshot(snap snapshot) []byte {
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, binFormatV1)
-	buf = binary.LittleEndian.AppendUint64(buf, snap.LastSeq)
-	buf = binary.AppendUvarint(buf, uint64(len(snap.Users)))
+	buf = binio.AppendU64(buf, snap.LastSeq)
+	buf = binio.AppendUvarint(buf, uint64(len(snap.Users)))
 	for id, samples := range snap.Users {
-		buf = appendString(buf, id)
-		buf = binary.AppendUvarint(buf, uint64(len(samples)))
-		for _, w := range samples {
-			buf = appendWindowSample(buf, w)
-		}
+		buf = binio.AppendString(buf, id)
+		buf = features.AppendSampleListBinary(buf, samples)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(snap.Models)))
+	buf = binio.AppendUvarint(buf, uint64(len(snap.Models)))
 	for id, versions := range snap.Models {
-		buf = appendString(buf, id)
-		buf = binary.AppendUvarint(buf, uint64(len(versions)))
+		buf = binio.AppendString(buf, id)
+		buf = binio.AppendUvarint(buf, uint64(len(versions)))
 		for _, mv := range versions {
-			buf = binary.AppendUvarint(buf, uint64(mv.Version))
-			buf = binary.AppendUvarint(buf, uint64(len(mv.Bundle)))
-			buf = append(buf, mv.Bundle...)
+			buf = binio.AppendUvarint(buf, uint64(mv.Version))
+			buf = binio.AppendBytes(buf, mv.Bundle)
 		}
 	}
 	return binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
@@ -374,56 +172,46 @@ func decodeBinarySnapshot(data []byte) (snapshot, error) {
 	if crc := crc32.ChecksumIEEE(body); crc != sum {
 		return snapshot{}, fmt.Errorf("store: binary snapshot checksum mismatch")
 	}
-	r := &binReader{b: body}
-	if fb := r.byte(); fb != binFormatV1 {
+	r := binio.NewReader(body)
+	if fb := r.Byte(); fb != binFormatV1 {
 		return snapshot{}, fmt.Errorf("store: unsupported snapshot format %d", fb)
 	}
 	snap := snapshot{
 		Users:  make(map[string][]features.WindowSample),
 		Models: make(map[string][]ModelVersion),
 	}
-	snap.LastSeq = r.u64()
-	nUsers := r.uvarint()
-	for i := uint64(0); i < nUsers && r.err == nil; i++ {
-		id := r.str()
-		samples := r.sampleList()
-		if r.err == nil {
+	snap.LastSeq = r.U64()
+	nUsers := r.Uvarint()
+	for i := uint64(0); i < nUsers && r.Err() == nil; i++ {
+		id := r.Str()
+		samples := features.ReadSampleListBinary(r)
+		if r.Err() == nil {
 			snap.Users[id] = samples
 		}
 	}
-	nModels := r.uvarint()
-	for i := uint64(0); i < nModels && r.err == nil; i++ {
-		id := r.str()
-		nv := r.uvarint()
-		if r.err != nil {
+	nModels := r.Uvarint()
+	for i := uint64(0); i < nModels && r.Err() == nil; i++ {
+		id := r.Str()
+		nv := r.Uvarint()
+		if r.Err() != nil {
 			break
 		}
-		if nv > uint64(r.remaining()/2)+1 {
-			r.fail("version count %d exceeds %d remaining bytes", nv, r.remaining())
+		if nv > uint64(r.Remaining()/2)+1 {
+			r.Fail("version count %d exceeds %d remaining bytes", nv, r.Remaining())
 			break
 		}
 		versions := make([]ModelVersion, 0, nv)
-		for j := uint64(0); j < nv && r.err == nil; j++ {
-			v := int(r.uvarint())
-			blob := r.bytes()
+		for j := uint64(0); j < nv && r.Err() == nil; j++ {
+			v := int(r.Uvarint())
+			blob := r.Bytes()
 			versions = append(versions, ModelVersion{Version: v, Bundle: blob})
 		}
-		if r.err == nil {
+		if r.Err() == nil {
 			snap.Models[id] = versions
 		}
 	}
-	if r.err != nil {
-		return snapshot{}, fmt.Errorf("store: decode binary snapshot: %w", r.err)
+	if err := r.Err(); err != nil {
+		return snapshot{}, fmt.Errorf("store: decode binary snapshot: %w", err)
 	}
 	return snap, nil
-}
-
-// contextFromUint narrows a decoded context value. sensing.Context is a
-// small enum; anything outside int32 range is corruption.
-func contextFromUint(v uint64, r *binReader) sensing.Context {
-	if v > math.MaxInt32 {
-		r.fail("implausible context value %d", v)
-		return 0
-	}
-	return sensing.Context(v)
 }

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+	"smarteryou/internal/sensing"
+)
+
+// The wire benches measure the per-window cost of the four ways a window
+// can cross the wire: a v1 JSON request, a v2 binary request, a v2 batch
+// burst and a v2 streaming session. Every bench iterates per WINDOW (one
+// batch op advances the counter by its burst size), so ns/op columns
+// compare directly across all four. `make bench-wire` runs them and
+// BENCH_auth.json records the spread.
+
+const benchBatchSize = 16
+
+// benchWire is the shared trained-server fixture, built once per bench
+// binary run: a five-user population, user bench-00 enrolled and trained
+// with the paper's combined + context-dispatched mode.
+var benchWire struct {
+	once    sync.Once
+	err     error
+	addr    string
+	userID  string
+	samples []features.WindowSample
+}
+
+func benchWireFixture(b *testing.B) (addr, userID string, samples []features.WindowSample) {
+	b.Helper()
+	benchWire.once.Do(func() {
+		benchWire.err = buildBenchWire()
+	})
+	if benchWire.err != nil {
+		b.Fatalf("wire bench fixture: %v", benchWire.err)
+	}
+	return benchWire.addr, benchWire.userID, benchWire.samples
+}
+
+func buildBenchWire() error {
+	pop, err := sensing.NewPopulation(5, 777)
+	if err != nil {
+		return err
+	}
+	byUser := make(map[string][]features.WindowSample)
+	var ctxTrain []features.WindowSample
+	for i, u := range pop.Users {
+		samples, err := features.Collect(u, features.CollectOptions{
+			WindowSeconds:  6,
+			SessionSeconds: 60,
+			Sessions:       1,
+			Seed:           int64(10 + i),
+		})
+		if err != nil {
+			return err
+		}
+		byUser[u.ID] = samples
+		ctxTrain = append(ctxTrain, samples...)
+	}
+	det, err := ctxdetect.Train(ctxdetect.FromSamples(ctxTrain), ctxdetect.Config{Seed: 1, Trees: 10})
+	if err != nil {
+		return err
+	}
+	srv, err := NewServer(ServerConfig{Key: testKey, Detector: det})
+	if err != nil {
+		return err
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	const user = "user-00"
+	seed := make(map[string][]features.WindowSample)
+	for id, s := range byUser {
+		if id != user {
+			seed[id] = s
+		}
+	}
+	srv.SeedPopulation(seed)
+	client, err := NewClient(ClientConfig{Addr: addr.String(), Key: testKey})
+	if err != nil {
+		return err
+	}
+	if _, err := client.Enroll(user, byUser[user]); err != nil {
+		return err
+	}
+	if _, err := client.Train(user, TrainParams{Mode: core.Mode{Combined: true, UseContext: true}, Seed: 3}); err != nil {
+		return err
+	}
+	// The server (and its listener) live for the rest of the bench binary.
+	benchWire.addr = addr.String()
+	benchWire.userID = user
+	benchWire.samples = byUser[user]
+	return nil
+}
+
+func benchWireSession(b *testing.B, jsonV1 bool) *Session {
+	b.Helper()
+	addr, _, _ := benchWireFixture(b)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey, JSONv1: jsonV1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := client.NewSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = sess.Close() })
+	return sess
+}
+
+// reportWindowsPerSec turns the elapsed time into the headline
+// windows/sec metric.
+func reportWindowsPerSec(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "windows/sec")
+	}
+}
+
+// BenchmarkWireAuthSingleV1 is the pre-v2 baseline: one JSON envelope
+// round trip per window over a kept-alive session.
+func BenchmarkWireAuthSingleV1(b *testing.B) {
+	sess := benchWireSession(b, true)
+	_, userID, samples := benchWireFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Authenticate(userID, samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportWindowsPerSec(b)
+}
+
+// BenchmarkWireAuthSingleV2 is the same round trip on the binary
+// envelope: fixed-width payload encode, no JSON or base64 on either side.
+func BenchmarkWireAuthSingleV2(b *testing.B) {
+	sess := benchWireSession(b, false)
+	_, userID, samples := benchWireFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Authenticate(userID, samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportWindowsPerSec(b)
+}
+
+// BenchmarkWireAuthBatch amortizes the round trip: bursts of
+// benchBatchSize windows per envelope, one HMAC and one model resolution
+// per burst. The loop advances per window, so ns/op stays per-window.
+func BenchmarkWireAuthBatch(b *testing.B) {
+	sess := benchWireSession(b, false)
+	_, userID, samples := benchWireFixture(b)
+	burst := make([]features.WindowSample, benchBatchSize)
+	for i := range burst {
+		burst[i] = samples[i%len(samples)]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := benchBatchSize
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		if _, err := sess.AuthenticateBatch(userID, burst[:n]); err != nil {
+			b.Fatal(err)
+		}
+		done += n
+	}
+	reportWindowsPerSec(b)
+}
+
+// BenchmarkWireAuthStream holds a streaming session: handshake once, then
+// raw window frames in and decision frames out with a pipeline of 32
+// windows in flight — the continuous-authentication shape.
+func BenchmarkWireAuthStream(b *testing.B) {
+	sess := benchWireSession(b, false)
+	_, userID, samples := benchWireFixture(b)
+	st, err := sess.StartStream(userID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const inflightMax = 32
+	b.ReportAllocs()
+	b.ResetTimer()
+	inflight := 0
+	for i := 0; i < b.N; i++ {
+		if err := st.Push(samples[i%len(samples)]); err != nil {
+			b.Fatal(err)
+		}
+		inflight++
+		if inflight == inflightMax {
+			if _, err := st.Recv(); err != nil {
+				b.Fatal(err)
+			}
+			inflight--
+		}
+	}
+	for ; inflight > 0; inflight-- {
+		if _, err := st.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportWindowsPerSec(b)
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ type Client struct {
 	timeout time.Duration
 	dial    DialFunc
 	retry   busyPolicy
+	format  byte
 }
 
 // DialFunc establishes one client connection within timeout. Overriding
@@ -48,6 +49,12 @@ type ClientConfig struct {
 	// (default 8 s). The first retry honors the server's hint exactly;
 	// each further retry doubles it up to this cap.
 	MaxBusyBackoff time.Duration
+	// JSONv1 makes the client speak the legacy length-prefixed JSON
+	// envelope instead of the binary envelope v2. Servers answer in
+	// whichever format a request arrived in, so this only trades hot-path
+	// throughput for debuggability (or compatibility with a pre-v2
+	// server, which would reject binary frames).
+	JSONv1 bool
 }
 
 // busyPolicy is the capped-exponential backoff applied to busy responses.
@@ -86,12 +93,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if dial == nil {
 		dial = net.DialTimeout
 	}
+	format := wireFormatV2
+	if cfg.JSONv1 {
+		format = wireFormatJSON
+	}
 	return &Client{
 		addr:    cfg.Addr,
 		key:     cfg.Key,
 		timeout: timeout,
 		dial:    dial,
 		retry:   newBusyPolicy(cfg.BusyRetries, cfg.MaxBusyBackoff),
+		format:  format,
 	}, nil
 }
 
@@ -125,7 +137,7 @@ func (c *Client) roundTrip(reqType string, payload any, out any) error {
 		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
 	defer func() { _ = conn.Close() }()
-	return doRequest(conn, c.key, c.timeout, reqType, payload, out)
+	return doRequest(conn, c.key, c.format, c.timeout, reqType, payload, out)
 }
 
 // Enroll uploads feature windows collected during the enrollment phase.
@@ -234,6 +246,30 @@ func (c *Client) Authenticate(userID string, sample features.WindowSample) (Auth
 		return AuthDecision{}, err
 	}
 	return AuthDecision(resp), nil
+}
+
+// decisionsFromResponses converts wire decisions to the public type.
+func decisionsFromResponses(in []authResponse) []AuthDecision {
+	out := make([]AuthDecision, len(in))
+	for i, d := range in {
+		out[i] = AuthDecision(d)
+	}
+	return out
+}
+
+// AuthenticateBatch classifies many windows for one user in a single
+// round trip: one envelope, one HMAC verification, one model resolution
+// on the server, decisions in window order. The continuous feed of
+// Section IV-B arrives in bursts (a 6 s window cadence against mobile
+// radio wake-ups), and batching amortizes the per-request overhead across
+// the burst.
+func (c *Client) AuthenticateBatch(userID string, samples []features.WindowSample) ([]AuthDecision, error) {
+	var resp batchAuthResponse
+	err := c.roundTrip(TypeAuthBatch, batchAuthRequest{UserID: userID, Samples: samples}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return decisionsFromResponses(resp.Decisions), nil
 }
 
 // RequestRetrain nudges the server's drift-retrain scheduler to consider

@@ -18,7 +18,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -44,6 +46,16 @@ const (
 	// outsource the testing module (Section IV-B). Served inline, never
 	// queued behind training.
 	TypeAuthenticate = "authenticate"
+	// TypeAuthBatch classifies many feature windows for one user in a
+	// single round trip: one model resolution, one envelope, one response.
+	// The continuous feed of Section IV-B arrives in bursts, and batching
+	// amortizes the per-request overhead across the burst.
+	TypeAuthBatch = "auth-batch"
+	// TypeStreamOpen switches the connection into streaming session mode:
+	// the HMAC handshake and user/model resolution happen once, then raw
+	// window frames flow in and decision frames flow out until a close
+	// frame returns the connection to request mode.
+	TypeStreamOpen = "stream-open"
 	// TypeRetrain nudges the server's drift-retrain scheduler to consider
 	// the user now, as if the drift monitor had emitted a candidate — an
 	// operator/device-initiated entry into the same coalesced, budgeted
@@ -80,26 +92,91 @@ var (
 	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
 )
 
-// Envelope is the authenticated wrapper around every protocol message.
+// Wire formats, distinguished by the first byte of the frame body. JSON v1
+// envelopes start with '{' (0x7B), so the binary format bytes below can
+// never collide with one; ReadFrame dispatches on that byte and both
+// generations interoperate on the same port.
+const (
+	// wireFormatJSON marks the legacy length-prefixed JSON envelope. It is
+	// the zero value so an Envelope built by json.Unmarshal (or by older
+	// code) round-trips as JSON unchanged.
+	wireFormatJSON byte = 0
+	// wireFormatV2 marks the binary envelope v2: format byte, type byte,
+	// raw HMAC-SHA256, then the payload bytes.
+	wireFormatV2 byte = 0x02
+	// wireFormatStream marks a raw streaming frame (window in, decision
+	// out) inside an open streaming session; see stream.go. Never valid in
+	// request mode.
+	wireFormatStream byte = 0x03
+)
+
+// Envelope is the authenticated wrapper around every protocol message. The
+// unexported format field records which wire generation the envelope was
+// read with (or should be written with); responses echo the request's
+// format so old JSON clients keep working against a v2 server.
 type Envelope struct {
 	Type    string          `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 	MAC     []byte          `json:"mac"`
+
+	format byte
 }
 
-// computeMAC tags type+payload with HMAC-SHA256.
-func computeMAC(key []byte, msgType string, payload []byte) []byte {
-	mac := hmac.New(sha256.New, key)
+// macPools recycles HMAC states per key: hmac.New allocates two hash
+// states plus padding buffers on every call, which used to run once per
+// frame in each direction. Keys are few (one per deployment, more only in
+// tests), so the map stays tiny.
+var macPools sync.Map // string(key) -> *sync.Pool of hash.Hash
+
+func macPool(key []byte) *sync.Pool {
+	if p, ok := macPools.Load(string(key)); ok {
+		return p.(*sync.Pool)
+	}
+	k := append([]byte(nil), key...) // the pool outlives the caller's slice
+	p := &sync.Pool{New: func() any { return hmac.New(sha256.New, k) }}
+	actual, _ := macPools.LoadOrStore(string(k), p)
+	return actual.(*sync.Pool)
+}
+
+// computeMAC tags type+payload with HMAC-SHA256, appending the tag to dst
+// (pass nil to allocate exactly one 32-byte sum).
+func computeMAC(dst, key []byte, msgType string, payload []byte) []byte {
+	pool := macPool(key)
+	mac := pool.Get().(hash.Hash)
+	mac.Reset()
 	mac.Write([]byte(msgType))
 	mac.Write([]byte{0})
 	mac.Write(payload)
-	return mac.Sum(nil)
+	sum := mac.Sum(dst)
+	pool.Put(mac)
+	return sum
 }
 
-// Seal builds an authenticated envelope for the payload value.
+// Seal builds an authenticated JSON (v1) envelope for the payload value.
 func Seal(key []byte, msgType string, payload any) (Envelope, error) {
-	var raw json.RawMessage
-	if payload != nil {
+	return sealFormat(wireFormatJSON, key, msgType, payload)
+}
+
+// sealFormat builds an authenticated envelope in the requested wire
+// format. v2 envelopes encode payloads implementing binaryAppender as
+// fixed-width binary; everything else stays JSON inside the v2 frame (the
+// payload is self-describing: binary starts with binPayloadMarker, JSON
+// with '{').
+func sealFormat(format byte, key []byte, msgType string, payload any) (Envelope, error) {
+	var raw []byte
+	switch {
+	case payload == nil:
+	case format == wireFormatV2:
+		if enc, ok := payload.(binaryAppender); ok {
+			buf, err := enc.appendBinary([]byte{binPayloadMarker})
+			if err != nil {
+				return Envelope{}, fmt.Errorf("transport: encode %s payload: %w", msgType, err)
+			}
+			raw = buf
+			break
+		}
+		fallthrough
+	default:
 		b, err := json.Marshal(payload)
 		if err != nil {
 			return Envelope{}, fmt.Errorf("transport: marshal %s payload: %w", msgType, err)
@@ -109,17 +186,31 @@ func Seal(key []byte, msgType string, payload any) (Envelope, error) {
 	return Envelope{
 		Type:    msgType,
 		Payload: raw,
-		MAC:     computeMAC(key, msgType, raw),
+		MAC:     computeMAC(nil, key, msgType, raw),
+		format:  format,
 	}, nil
 }
 
-// Open verifies the envelope's MAC and unmarshals the payload into out
-// (out may be nil for payload-less messages).
+// Open verifies the envelope's MAC and decodes the payload into out (out
+// may be nil for payload-less messages). Binary payloads (first byte
+// binPayloadMarker) require out to implement binaryDecoder; JSON payloads
+// unmarshal as before, whichever envelope generation carried them.
 func (e Envelope) Open(key []byte, out any) error {
-	if !hmac.Equal(e.MAC, computeMAC(key, e.Type, e.Payload)) {
+	var sum [sha256.Size]byte
+	if !hmac.Equal(e.MAC, computeMAC(sum[:0], key, e.Type, e.Payload)) {
 		return ErrBadMAC
 	}
 	if out == nil {
+		return nil
+	}
+	if len(e.Payload) > 0 && e.Payload[0] == binPayloadMarker {
+		dec, ok := out.(binaryDecoder)
+		if !ok {
+			return fmt.Errorf("transport: %s payload is binary but %T cannot decode it", e.Type, out)
+		}
+		if err := dec.decodeBinary(e.Payload[1:]); err != nil {
+			return fmt.Errorf("transport: decode %s payload: %w", e.Type, err)
+		}
 		return nil
 	}
 	if err := json.Unmarshal(e.Payload, out); err != nil {
@@ -128,45 +219,96 @@ func (e Envelope) Open(key []byte, out any) error {
 	return nil
 }
 
-// WriteFrame writes one envelope as a length-prefixed JSON frame.
-func WriteFrame(w io.Writer, e Envelope) error {
-	blob, err := json.Marshal(e)
-	if err != nil {
-		return fmt.Errorf("transport: marshal envelope: %w", err)
-	}
-	if len(blob) > MaxFrameBytes {
+// writeLengthPrefixed writes one length-prefixed frame body.
+func writeLengthPrefixed(w io.Writer, body []byte) error {
+	if len(body) > MaxFrameBytes {
 		return ErrFrameTooLarge
 	}
 	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(blob)))
+	binary.BigEndian.PutUint32(header[:], uint32(len(body)))
 	if _, err := w.Write(header[:]); err != nil {
 		return fmt.Errorf("transport: write frame header: %w", err)
 	}
-	if _, err := w.Write(blob); err != nil {
+	if _, err := w.Write(body); err != nil {
 		return fmt.Errorf("transport: write frame body: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed envelope.
-func ReadFrame(r io.Reader) (Envelope, error) {
+// readFrameBody reads one length-prefixed frame body, enforcing
+// MaxFrameBytes before allocating. Every read path — server request loop,
+// client response path, streaming frames — funnels through here, so the
+// bound holds symmetrically: a misbehaving peer on either side cannot
+// force an unbounded allocation.
+func readFrameBody(r io.Reader) ([]byte, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return Envelope{}, err // io.EOF passes through for clean shutdown
+		return nil, err // io.EOF passes through for clean shutdown
 	}
 	n := binary.BigEndian.Uint32(header[:])
 	if n > MaxFrameBytes {
-		return Envelope{}, ErrFrameTooLarge
+		return nil, ErrFrameTooLarge
 	}
-	blob := make([]byte, n)
-	if _, err := io.ReadFull(r, blob); err != nil {
-		return Envelope{}, fmt.Errorf("transport: read frame body: %w", err)
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
 	}
-	var e Envelope
-	if err := json.Unmarshal(blob, &e); err != nil {
-		return Envelope{}, fmt.Errorf("transport: decode envelope: %w", err)
+	return body, nil
+}
+
+// WriteFrame writes one envelope as a length-prefixed frame in the
+// envelope's wire format (JSON v1 by default).
+func WriteFrame(w io.Writer, e Envelope) error {
+	var body []byte
+	switch e.format {
+	case wireFormatV2:
+		b, err := encodeEnvelopeV2(e)
+		if err != nil {
+			return err
+		}
+		body = b
+	default:
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("transport: marshal envelope: %w", err)
+		}
+		body = b
 	}
-	return e, nil
+	return writeLengthPrefixed(w, body)
+}
+
+// ReadFrame reads one length-prefixed envelope, dispatching on the first
+// body byte: '{' is a JSON v1 envelope, wireFormatV2 a binary one. The
+// returned envelope remembers its format so a response can be sealed to
+// match.
+func ReadFrame(r io.Reader) (Envelope, error) {
+	body, err := readFrameBody(r)
+	if err != nil {
+		return Envelope{}, err
+	}
+	return envelopeFromBody(body)
+}
+
+// envelopeFromBody decodes an already length-delimited frame body into an
+// envelope.
+func envelopeFromBody(body []byte) (Envelope, error) {
+	if len(body) == 0 {
+		return Envelope{}, fmt.Errorf("transport: empty frame")
+	}
+	switch body[0] {
+	case '{':
+		var e Envelope
+		if err := json.Unmarshal(body, &e); err != nil {
+			return Envelope{}, fmt.Errorf("transport: decode envelope: %w", err)
+		}
+		return e, nil
+	case wireFormatV2:
+		return parseEnvelopeV2(body)
+	case wireFormatStream:
+		return Envelope{}, fmt.Errorf("transport: streaming frame outside an open stream")
+	default:
+		return Envelope{}, fmt.Errorf("transport: unknown wire format byte %#x", body[0])
+	}
 }
 
 // errorPayload is the body of a TypeError response.

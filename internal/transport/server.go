@@ -77,6 +77,19 @@ type authResponse struct {
 	Accepted          bool    `json:"accepted"`
 }
 
+// batchAuthRequest classifies many windows for one user in one round
+// trip. JSON tags keep the batch message usable from v1 clients too; the
+// binary codec in wirev2.go is what the hot path uses.
+type batchAuthRequest struct {
+	UserID  string                  `json:"user_id"`
+	Samples []features.WindowSample `json:"samples"`
+}
+
+// batchAuthResponse carries one decision per submitted window, in order.
+type batchAuthResponse struct {
+	Decisions []authResponse `json:"decisions"`
+}
+
 // ServerStats reports the server's population store and, when the server
 // runs with durable storage, its persistence state.
 type ServerStats struct {
@@ -103,6 +116,23 @@ type ServerStats struct {
 	// Retrain reports the drift-triggered retraining subsystem when it is
 	// enabled.
 	Retrain *RetrainStats `json:"retrain,omitempty"`
+	// Wire reports wire-protocol traffic counters (absent before any v2,
+	// batch or stream traffic).
+	Wire *WireStats `json:"wire,omitempty"`
+}
+
+// WireStats counts wire-protocol traffic by generation, mostly for
+// observability and interop tests: a fleet migration to v2 shows up here
+// before it shows up in CPU profiles.
+type WireStats struct {
+	// V2Requests counts requests that arrived as binary v2 envelopes.
+	V2Requests uint64 `json:"v2_requests,omitempty"`
+	// BatchWindows counts windows served through batch authenticate.
+	BatchWindows uint64 `json:"batch_windows,omitempty"`
+	// StreamSessions counts accepted stream-open handshakes;
+	// StreamWindows counts windows served inside streams.
+	StreamSessions uint64 `json:"stream_sessions,omitempty"`
+	StreamWindows  uint64 `json:"stream_windows,omitempty"`
 }
 
 // ReplicationInfo is the replication slice of the stats response.
@@ -188,6 +218,12 @@ type Server struct {
 	// it a server with connected clients would never finish closing.
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// Wire-protocol traffic counters; see WireStats.
+	wireV2Requests     atomic.Uint64
+	wireBatchWindows   atomic.Uint64
+	wireStreamSessions atomic.Uint64
+	wireStreamWindows  atomic.Uint64
 }
 
 // ServerConfig configures a new server.
@@ -449,6 +485,8 @@ func (s *Server) Close() error {
 }
 
 // serveConn handles one client connection: a loop of request frames.
+// A stream-open request hands the connection to the streaming loop; when
+// the stream closes cleanly the connection returns here.
 func (s *Server) serveConn(conn net.Conn) {
 	for {
 		env, err := ReadFrame(conn)
@@ -457,6 +495,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.logf("read frame: %v", err)
 			}
 			return
+		}
+		if env.format == wireFormatV2 {
+			s.wireV2Requests.Add(1)
+		}
+		if env.Type == TypeStreamOpen {
+			if !s.handleStream(conn, env) {
+				return
+			}
+			continue
 		}
 		resp := s.dispatch(env)
 		if err := WriteFrame(conn, resp); err != nil {
@@ -467,13 +514,15 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // dispatch verifies and executes one request, always producing a response
-// envelope (errors become TypeError).
+// envelope (errors become TypeError). Responses are sealed in the wire
+// format the request arrived in, so v1 JSON clients and v2 binary clients
+// interoperate against the same server.
 func (s *Server) dispatch(env Envelope) Envelope {
 	respond := func(msgType string, payload any) Envelope {
-		out, err := Seal(s.key, msgType, payload)
+		out, err := sealFormat(env.format, s.key, msgType, payload)
 		if err != nil {
 			s.logf("seal response: %v", err)
-			fallback, _ := Seal(s.key, TypeError, errorPayload{Message: "internal error"})
+			fallback, _ := sealFormat(env.format, s.key, TypeError, errorPayload{Message: "internal error"})
 			return fallback
 		}
 		return out
@@ -560,6 +609,17 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			return fail(err)
 		}
 		resp, err := s.authenticate(req)
+		if err != nil {
+			return fail(err)
+		}
+		return respond(TypeOK, resp)
+
+	case TypeAuthBatch:
+		var req batchAuthRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		resp, err := s.authenticateBatch(req)
 		if err != nil {
 			return fail(err)
 		}
@@ -678,6 +738,15 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			resp.Replication = s.replInfo()
 		}
 		resp.Retrain = s.driftStats()
+		wire := WireStats{
+			V2Requests:     s.wireV2Requests.Load(),
+			BatchWindows:   s.wireBatchWindows.Load(),
+			StreamSessions: s.wireStreamSessions.Load(),
+			StreamWindows:  s.wireStreamWindows.Load(),
+		}
+		if wire != (WireStats{}) {
+			resp.Wire = &wire
+		}
 		return respond(TypeOK, resp)
 
 	default:
@@ -723,16 +792,16 @@ func (s *Server) runTrainJob(job trainJob) trainResult {
 	return trainResult{bundle: bundle, version: version}
 }
 
-// authenticate classifies one window with the user's current model: the
-// last bundle this server trained, or the registry's latest when the
-// server restarted since. Runs inline on the connection goroutine — it is
-// microseconds of work and must keep succeeding while the training pool
-// is saturated.
-func (s *Server) authenticate(req authRequest) (authResponse, error) {
-	if req.UserID == "" {
-		return authResponse{}, fmt.Errorf("authenticate: missing user id")
+// resolveAuth maps a user to a ready authenticator over their current
+// model: the last bundle this server trained, or the registry's latest
+// when the server restarted since. Single-window, batch and streaming
+// authentication all start here; batch and stream pay the cost once for
+// many windows.
+func (s *Server) resolveAuth(userID string) (anon string, auth *core.Authenticator, err error) {
+	if userID == "" {
+		return "", nil, fmt.Errorf("authenticate: missing user id")
 	}
-	anon := anonymize(req.UserID)
+	anon = anonymize(userID)
 	s.mu.Lock()
 	bundle := s.models[anon]
 	s.mu.Unlock()
@@ -746,11 +815,22 @@ func (s *Server) authenticate(req authRequest) (authResponse, error) {
 		}
 	}
 	if bundle == nil {
-		return authResponse{}, fmt.Errorf("authenticate: user %s has no trained model", req.UserID)
+		return "", nil, fmt.Errorf("authenticate: user %s has no trained model", userID)
 	}
-	auth, err := core.NewAuthenticator(s.detector, bundle)
+	auth, err = core.NewAuthenticator(s.detector, bundle)
 	if err != nil {
-		return authResponse{}, fmt.Errorf("authenticate: %w", err)
+		return "", nil, fmt.Errorf("authenticate: %w", err)
+	}
+	return anon, auth, nil
+}
+
+// authenticate classifies one window with the user's current model. Runs
+// inline on the connection goroutine — it is microseconds of work and
+// must keep succeeding while the training pool is saturated.
+func (s *Server) authenticate(req authRequest) (authResponse, error) {
+	anon, auth, err := s.resolveAuth(req.UserID)
+	if err != nil {
+		return authResponse{}, err
 	}
 	d, err := auth.Authenticate(req.Sample)
 	if err != nil {
@@ -764,6 +844,33 @@ func (s *Server) authenticate(req authRequest) (authResponse, error) {
 		Score:             d.Score,
 		Accepted:          d.Accepted,
 	}, nil
+}
+
+// authenticateBatch classifies many windows for one user: the model is
+// resolved once and the score vector is pooled across the whole batch.
+// Decisions come back in window order; every decision still feeds the
+// drift monitor, so batching does not blind the retraining loop.
+func (s *Server) authenticateBatch(req batchAuthRequest) (batchAuthResponse, error) {
+	anon, auth, err := s.resolveAuth(req.UserID)
+	if err != nil {
+		return batchAuthResponse{}, err
+	}
+	decisions, err := auth.AuthenticateBatch(req.Samples, make([]core.Decision, 0, len(req.Samples)))
+	if err != nil {
+		return batchAuthResponse{}, fmt.Errorf("authenticate: %w", err)
+	}
+	s.wireBatchWindows.Add(uint64(len(decisions)))
+	resp := batchAuthResponse{Decisions: make([]authResponse, len(decisions))}
+	for i, d := range decisions {
+		s.observeDrift(anon, d.Score, d.Accepted)
+		resp.Decisions[i] = authResponse{
+			Context:           d.Context.String(),
+			ContextConfidence: d.ContextConfidence,
+			Score:             d.Score,
+			Accepted:          d.Accepted,
+		}
+	}
+	return resp, nil
 }
 
 // train runs the training module for one user: positives are the user's

@@ -12,12 +12,12 @@ import (
 )
 
 // doRequest performs one request/response exchange on an established
-// connection.
-func doRequest(conn net.Conn, key []byte, timeout time.Duration, reqType string, payload, out any) error {
+// connection, sealing the request in the given wire format.
+func doRequest(conn net.Conn, key []byte, format byte, timeout time.Duration, reqType string, payload, out any) error {
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return fmt.Errorf("transport: set deadline: %w", err)
 	}
-	env, err := Seal(key, reqType, payload)
+	env, err := sealFormat(format, key, reqType, payload)
 	if err != nil {
 		return err
 	}
@@ -28,6 +28,12 @@ func doRequest(conn net.Conn, key []byte, timeout time.Duration, reqType string,
 	if err != nil {
 		return fmt.Errorf("transport: read response: %w", err)
 	}
+	return decodeResponse(resp, key, out)
+}
+
+// decodeResponse verifies a response envelope and either decodes its
+// payload into out or maps the protocol-level error types onto Go errors.
+func decodeResponse(resp Envelope, key []byte, out any) error {
 	if resp.Type == TypeError {
 		var ep errorPayload
 		if err := resp.Open(key, &ep); err != nil {
@@ -67,9 +73,11 @@ type Session struct {
 	key     []byte
 	timeout time.Duration
 	retry   busyPolicy
+	format  byte
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu        sync.Mutex
+	conn      net.Conn
+	streaming bool
 }
 
 // NewSession dials the server once (through the client's dialer, so link
@@ -80,7 +88,7 @@ func (c *Client) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
-	return &Session{key: c.key, timeout: c.timeout, retry: c.retry, conn: conn}, nil
+	return &Session{key: c.key, timeout: c.timeout, retry: c.retry, format: c.format, conn: conn}, nil
 }
 
 // Close releases the underlying connection.
@@ -101,7 +109,10 @@ func (s *Session) roundTrip(reqType string, payload, out any) error {
 	if s.conn == nil {
 		return fmt.Errorf("transport: session is closed")
 	}
-	return doRequest(s.conn, s.key, s.timeout, reqType, payload, out)
+	if s.streaming {
+		return fmt.Errorf("transport: session has an open stream; close it first")
+	}
+	return doRequest(s.conn, s.key, s.format, s.timeout, reqType, payload, out)
 }
 
 // Enroll uploads feature windows on the session connection.
@@ -172,6 +183,17 @@ func (s *Session) Authenticate(userID string, sample features.WindowSample) (Aut
 		return AuthDecision{}, err
 	}
 	return AuthDecision(resp), nil
+}
+
+// AuthenticateBatch classifies many windows for one user in a single
+// round trip on the session connection; see Client.AuthenticateBatch.
+func (s *Session) AuthenticateBatch(userID string, samples []features.WindowSample) ([]AuthDecision, error) {
+	var resp batchAuthResponse
+	err := s.roundTrip(TypeAuthBatch, batchAuthRequest{UserID: userID, Samples: samples}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return decisionsFromResponses(resp.Decisions), nil
 }
 
 // Stats fetches the server's population summary.

@@ -1,0 +1,526 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"smarteryou/internal/core"
+	"smarteryou/internal/features"
+)
+
+// startTrainedServer builds the usual fixture, enrolls user-00 and trains
+// a model for them, returning the server address and the user's windows.
+func startTrainedServer(t *testing.T) (srv *Server, addr, userID string, samples []features.WindowSample) {
+	t.Helper()
+	det, byUser := buildFixture(t)
+	srv, addr = startServer(t, det)
+	seed := make(map[string][]features.WindowSample)
+	for id, s := range byUser {
+		if id != "user-00" {
+			seed[id] = s
+		}
+	}
+	srv.SeedPopulation(seed)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := client.Enroll("user-00", byUser["user-00"]); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if _, err := client.Train("user-00", TrainParams{Mode: core.Mode{Combined: true, UseContext: true}, Seed: 3}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return srv, addr, "user-00", byUser["user-00"]
+}
+
+// TestWireInterop is the mixed-version compatibility test: a v1 JSON
+// client and a v2 binary client ask the same server to authenticate the
+// same user's windows and must get identical decisions. The enrollment
+// and training above already ran over v2 (the default), so the v1 check
+// also proves a v1 client reads state written through v2.
+func TestWireInterop(t *testing.T) {
+	srv, addr, userID, samples := startTrainedServer(t)
+	_ = srv
+	v1, err := NewClient(ClientConfig{Addr: addr, Key: testKey, JSONv1: true})
+	if err != nil {
+		t.Fatalf("NewClient v1: %v", err)
+	}
+	v2, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient v2: %v", err)
+	}
+	for i, sample := range samples[:3] {
+		d1, err := v1.Authenticate(userID, sample)
+		if err != nil {
+			t.Fatalf("v1 Authenticate window %d: %v", i, err)
+		}
+		d2, err := v2.Authenticate(userID, sample)
+		if err != nil {
+			t.Fatalf("v2 Authenticate window %d: %v", i, err)
+		}
+		if d1 != d2 {
+			t.Errorf("window %d: v1 decision %+v != v2 decision %+v", i, d1, d2)
+		}
+	}
+
+	// The v1 client exercises every other verb too: enroll, stats, batch.
+	if _, err := v1.Enroll(userID, samples[:2]); err != nil {
+		t.Errorf("v1 Enroll: %v", err)
+	}
+	if _, _, err := v1.Stats(); err != nil {
+		t.Errorf("v1 Stats: %v", err)
+	}
+	batch1, err := v1.AuthenticateBatch(userID, samples[:3])
+	if err != nil {
+		t.Fatalf("v1 AuthenticateBatch: %v", err)
+	}
+	batch2, err := v2.AuthenticateBatch(userID, samples[:3])
+	if err != nil {
+		t.Fatalf("v2 AuthenticateBatch: %v", err)
+	}
+	for i := range batch1 {
+		if batch1[i] != batch2[i] {
+			t.Errorf("batch window %d: v1 %+v != v2 %+v", i, batch1[i], batch2[i])
+		}
+	}
+
+	// The server counted the v2 traffic and none of the v1 traffic.
+	stats, err := v2.FullStats()
+	if err != nil {
+		t.Fatalf("FullStats: %v", err)
+	}
+	if stats.Wire == nil || stats.Wire.V2Requests == 0 {
+		t.Errorf("server wire stats missed the v2 traffic: %+v", stats.Wire)
+	}
+	if stats.Wire.BatchWindows != 6 {
+		t.Errorf("BatchWindows = %d, want 6 (two batches of 3)", stats.Wire.BatchWindows)
+	}
+}
+
+func startTrainedServerOnce(t *testing.T) (string, string, []features.WindowSample) {
+	t.Helper()
+	_, addr, userID, samples := startTrainedServer(t)
+	return addr, userID, samples
+}
+
+// TestBatchMatchesSingle pins batch semantics: one batch round trip must
+// produce exactly the decisions of N single round trips, in window order.
+func TestBatchMatchesSingle(t *testing.T) {
+	addr, userID, samples := startTrainedServerOnce(t)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	batch, err := client.AuthenticateBatch(userID, samples)
+	if err != nil {
+		t.Fatalf("AuthenticateBatch: %v", err)
+	}
+	if len(batch) != len(samples) {
+		t.Fatalf("batch returned %d decisions for %d windows", len(batch), len(samples))
+	}
+	for i, sample := range samples {
+		single, err := client.Authenticate(userID, sample)
+		if err != nil {
+			t.Fatalf("Authenticate window %d: %v", i, err)
+		}
+		if batch[i] != single {
+			t.Errorf("window %d: batch %+v != single %+v", i, batch[i], single)
+		}
+	}
+	var remote *RemoteError
+	if _, err := client.AuthenticateBatch("ghost", samples[:1]); !errors.As(err, &remote) {
+		t.Errorf("batch for unknown user: err = %v, want RemoteError", err)
+	}
+}
+
+// TestStreamRoundTrip drives the streaming session end to end: open,
+// authenticate windows one by one and pipelined, close, and confirm the
+// connection returns to request mode with decisions identical to the
+// request path.
+func TestStreamRoundTrip(t *testing.T) {
+	addr, userID, samples := startTrainedServerOnce(t)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	want, err := client.AuthenticateBatch(userID, samples)
+	if err != nil {
+		t.Fatalf("AuthenticateBatch: %v", err)
+	}
+
+	sess, err := client.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer func() { _ = sess.Close() }()
+	stream, err := sess.StartStream(userID)
+	if err != nil {
+		t.Fatalf("StartStream: %v", err)
+	}
+
+	// While the stream is open, request-mode calls must fail fast instead
+	// of corrupting the connection.
+	if _, _, err := sess.Stats(); err == nil {
+		t.Errorf("session request during an open stream should fail")
+	}
+
+	// One-by-one.
+	for i, sample := range samples[:3] {
+		d, err := stream.Authenticate(sample)
+		if err != nil {
+			t.Fatalf("stream Authenticate window %d: %v", i, err)
+		}
+		if d != want[i] {
+			t.Errorf("window %d: stream %+v != request %+v", i, d, want[i])
+		}
+	}
+	// Pipelined: push the rest, then collect.
+	rest := samples[3:]
+	for i, sample := range rest {
+		if err := stream.Push(sample); err != nil {
+			t.Fatalf("Push window %d: %v", i, err)
+		}
+	}
+	for i := range rest {
+		d, err := stream.Recv()
+		if err != nil {
+			t.Fatalf("Recv window %d: %v", i, err)
+		}
+		if d != want[3+i] {
+			t.Errorf("pipelined window %d: stream %+v != request %+v", i, d, want[3+i])
+		}
+	}
+	if _, err := stream.Recv(); err == nil {
+		t.Errorf("Recv with no pending windows should fail")
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("stream Close: %v", err)
+	}
+
+	// The connection is back in request mode: the same session serves a
+	// normal request, and a second stream can open.
+	if _, _, err := sess.Stats(); err != nil {
+		t.Fatalf("Stats after stream close: %v", err)
+	}
+	stream2, err := sess.StartStream(userID)
+	if err != nil {
+		t.Fatalf("second StartStream: %v", err)
+	}
+	if _, err := stream2.Authenticate(samples[0]); err != nil {
+		t.Fatalf("second stream Authenticate: %v", err)
+	}
+	if err := stream2.Close(); err != nil {
+		t.Fatalf("second stream Close: %v", err)
+	}
+}
+
+// TestStreamCloseDrainsPending pins the close handshake with decisions
+// still in flight: Close must drain them and still find the sealed OK.
+func TestStreamCloseDrainsPending(t *testing.T) {
+	addr, userID, samples := startTrainedServerOnce(t)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	sess, err := client.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer func() { _ = sess.Close() }()
+	stream, err := sess.StartStream(userID)
+	if err != nil {
+		t.Fatalf("StartStream: %v", err)
+	}
+	for i, sample := range samples[:4] {
+		if err := stream.Push(sample); err != nil {
+			t.Fatalf("Push %d: %v", i, err)
+		}
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("Close with pending decisions: %v", err)
+	}
+	if _, _, err := sess.Stats(); err != nil {
+		t.Fatalf("Stats after draining close: %v", err)
+	}
+}
+
+// TestStreamOpenUnknownUser pins the refused handshake: the server
+// answers with a sealed error and the connection stays usable in request
+// mode.
+func TestStreamOpenUnknownUser(t *testing.T) {
+	addr, _, _ := startTrainedServerOnce(t)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	sess, err := client.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer func() { _ = sess.Close() }()
+	var remote *RemoteError
+	if _, err := sess.StartStream("ghost"); !errors.As(err, &remote) {
+		t.Fatalf("StartStream for unknown user: err = %v, want RemoteError", err)
+	}
+	if _, _, err := sess.Stats(); err != nil {
+		t.Errorf("Stats after refused stream-open: %v", err)
+	}
+}
+
+// TestStreamFromJSONv1Session proves the streaming handshake is
+// format-agnostic: a legacy-JSON client opens a stream (the handshake
+// travels as JSON, the frames are binary either way).
+func TestStreamFromJSONv1Session(t *testing.T) {
+	addr, userID, samples := startTrainedServerOnce(t)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey, JSONv1: true})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	sess, err := client.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer func() { _ = sess.Close() }()
+	stream, err := sess.StartStream(userID)
+	if err != nil {
+		t.Fatalf("StartStream over JSON v1: %v", err)
+	}
+	if _, err := stream.Authenticate(samples[0]); err != nil {
+		t.Fatalf("stream Authenticate: %v", err)
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestClientRejectsOversizedServerFrame is the symmetric MaxFrameBytes
+// bound: a misbehaving server declaring a huge frame must be rejected by
+// the client before it allocates, on both the request and stream paths.
+func TestClientRejectsOversizedServerFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer func() { _ = ln.Close() }()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer func() { _ = conn.Close() }()
+				// Consume the request frame, then declare a 4 GiB response.
+				if _, err := readFrameBody(conn); err != nil {
+					return
+				}
+				var header [4]byte
+				binary.BigEndian.PutUint32(header[:], 0xFFFFFFFF)
+				_, _ = conn.Write(header[:])
+			}(conn)
+		}
+	}()
+	client, err := NewClient(ClientConfig{Addr: ln.Addr().String(), Key: testKey, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := client.Authenticate("user-00", features.WindowSample{}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized response err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestStreamHammerConcurrentClose is the -race hammer: many goroutines
+// drive streaming sessions flat out while the server shuts down under
+// them. Every goroutine must unblock with an error (or finish cleanly),
+// nothing may deadlock, and the race detector must stay quiet across the
+// stream loops, the drift monitor and the connection teardown.
+func TestStreamHammerConcurrentClose(t *testing.T) {
+	det, byUser := buildFixture(t)
+	srv, err := NewServer(ServerConfig{Key: testKey, Detector: det})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addrObj, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	addr := addrObj.String()
+	seed := make(map[string][]features.WindowSample)
+	for id, s := range byUser {
+		if id != "user-00" {
+			seed[id] = s
+		}
+	}
+	srv.SeedPopulation(seed)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	if _, err := client.Enroll("user-00", byUser["user-00"]); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if _, err := client.Train("user-00", TrainParams{Mode: core.Mode{Combined: true}, Seed: 3}); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	samples := byUser["user-00"]
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess, err := client.NewSession()
+			if err != nil {
+				errs <- nil // server already gone: fine
+				return
+			}
+			defer func() { _ = sess.Close() }()
+			stream, err := sess.StartStream("user-00")
+			if err != nil {
+				errs <- nil
+				return
+			}
+			for i := 0; ; i++ {
+				if _, err := stream.Authenticate(samples[i%len(samples)]); err != nil {
+					break // server closed underneath us — expected
+				}
+			}
+			errs <- stream.Close() // poisoned stream: must not hang
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Errorf("server Close: %v", err)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("stream workers did not unblock after server Close")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("worker close: %v", err)
+		}
+	}
+}
+
+// TestStreamWireStats confirms the server counts streamed traffic.
+func TestStreamWireStats(t *testing.T) {
+	addr, userID, samples := startTrainedServerOnce(t)
+	client, err := NewClient(ClientConfig{Addr: addr, Key: testKey})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	sess, err := client.NewSession()
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	defer func() { _ = sess.Close() }()
+	stream, err := sess.StartStream(userID)
+	if err != nil {
+		t.Fatalf("StartStream: %v", err)
+	}
+	for _, sample := range samples[:5] {
+		if _, err := stream.Authenticate(sample); err != nil {
+			t.Fatalf("stream Authenticate: %v", err)
+		}
+	}
+	if err := stream.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	stats, err := client.FullStats()
+	if err != nil {
+		t.Fatalf("FullStats: %v", err)
+	}
+	if stats.Wire == nil {
+		t.Fatalf("no wire stats after streaming")
+	}
+	if stats.Wire.StreamSessions != 1 || stats.Wire.StreamWindows != 5 {
+		t.Errorf("wire stats = %+v, want 1 session / 5 windows", stats.Wire)
+	}
+}
+
+// TestEnvelopeV2RoundTrip pins the v2 envelope codec itself, including
+// MAC rejection — the same properties the v1 tests pin for JSON.
+func TestEnvelopeV2RoundTrip(t *testing.T) {
+	req := authRequest{UserID: "alice"}
+	req.Sample.UserID = "alice"
+	req.Sample.Day = 2.5
+	req.Sample.Phone.Acc.Mean = 1.25
+	env, err := sealFormat(wireFormatV2, testKey, TypeAuthenticate, req)
+	if err != nil {
+		t.Fatalf("sealFormat: %v", err)
+	}
+	body, err := encodeEnvelopeV2(env)
+	if err != nil {
+		t.Fatalf("encodeEnvelopeV2: %v", err)
+	}
+	if body[0] != wireFormatV2 {
+		t.Fatalf("format byte = %#x", body[0])
+	}
+	got, err := parseEnvelopeV2(body)
+	if err != nil {
+		t.Fatalf("parseEnvelopeV2: %v", err)
+	}
+	var decoded authRequest
+	if err := got.Open(testKey, &decoded); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if decoded.UserID != req.UserID || decoded.Sample != req.Sample {
+		t.Errorf("round trip mismatch: %+v", decoded)
+	}
+
+	// Flipping a payload byte must break the MAC.
+	tampered := append([]byte(nil), body...)
+	tampered[len(tampered)-1] ^= 0x01
+	bad, err := parseEnvelopeV2(tampered)
+	if err != nil {
+		t.Fatalf("parseEnvelopeV2 tampered: %v", err)
+	}
+	if err := bad.Open(testKey, &decoded); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("tampered v2 envelope err = %v, want ErrBadMAC", err)
+	}
+}
+
+// TestMACPoolConsistency pins that the pooled HMAC produces the same tag
+// as a fresh computation for distinct keys used interleaved.
+func TestMACPoolConsistency(t *testing.T) {
+	keys := [][]byte{[]byte("k1"), []byte("k2"), testKey}
+	for round := 0; round < 3; round++ {
+		for i, key := range keys {
+			payload := []byte(fmt.Sprintf("payload-%d-%d", round, i))
+			a := computeMAC(nil, key, TypeStats, payload)
+			b := computeMAC(nil, key, TypeStats, payload)
+			env := Envelope{Type: TypeStats, Payload: payload, MAC: a}
+			if !hmacEqual(a, b) {
+				t.Fatalf("pooled MAC not deterministic")
+			}
+			if err := env.Open(key, nil); err != nil {
+				t.Fatalf("Open with pooled MAC: %v", err)
+			}
+		}
+	}
+}
+
+func hmacEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

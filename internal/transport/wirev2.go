@@ -1,0 +1,320 @@
+package transport
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"smarteryou/internal/binio"
+	"smarteryou/internal/core"
+	"smarteryou/internal/features"
+)
+
+// Envelope v2: the binary wire format for the hot path. The JSON envelope
+// spends most of a request's serialization budget base64-ing the MAC and
+// stringifying 37 float64s per window; v2 reuses the store's binary
+// WindowSample codec (internal/features) on the wire instead.
+//
+//	frame body:
+//	  [0]     wireFormatV2
+//	  [1]     type byte (mapped 1:1 to the v1 type strings below)
+//	  [2:34]  HMAC-SHA256 over type-string || 0x00 || payload — the same
+//	          tag a v1 envelope would carry, raw instead of base64
+//	  [34:]   payload bytes
+//
+// The payload is self-describing: binPayloadMarker (0x01) introduces a
+// binary payload (hot types: authenticate, batch, enroll, model
+// downloads), '{' a JSON one (everything else — stats, detector, errors —
+// rides inside the v2 frame unchanged). A v2 server answers each request
+// in the format it arrived in, so v1 JSON clients interoperate without a
+// flag day.
+
+// binPayloadMarker introduces a binary payload inside a v2 envelope. Like
+// the store's format byte it can never collide with '{'.
+const binPayloadMarker byte = 0x01
+
+// v2 type bytes, mapped 1:1 to the v1 type strings.
+const (
+	typeByteEnroll        byte = 1
+	typeByteFetchDetector byte = 2
+	typeByteTrain         byte = 3
+	typeByteFetchModel    byte = 4
+	typeByteStats         byte = 5
+	typeByteAuthenticate  byte = 6
+	typeByteRetrain       byte = 7
+	typeByteAuthBatch     byte = 8
+	typeByteStreamOpen    byte = 9
+	typeByteOK            byte = 10
+	typeByteBusy          byte = 11
+	typeByteRedirect      byte = 12
+	typeByteError         byte = 13
+)
+
+var typeToByte = map[string]byte{
+	TypeEnroll:        typeByteEnroll,
+	TypeFetchDetector: typeByteFetchDetector,
+	TypeTrain:         typeByteTrain,
+	TypeFetchModel:    typeByteFetchModel,
+	TypeStats:         typeByteStats,
+	TypeAuthenticate:  typeByteAuthenticate,
+	TypeRetrain:       typeByteRetrain,
+	TypeAuthBatch:     typeByteAuthBatch,
+	TypeStreamOpen:    typeByteStreamOpen,
+	TypeOK:            typeByteOK,
+	TypeBusy:          typeByteBusy,
+	TypeRedirect:      typeByteRedirect,
+	TypeError:         typeByteError,
+}
+
+var byteToType = func() map[byte]string {
+	m := make(map[byte]string, len(typeToByte))
+	for s, b := range typeToByte {
+		m[b] = s
+	}
+	return m
+}()
+
+// v2 frame body offsets.
+const (
+	v2HeaderBytes = 2 + sha256.Size // format byte + type byte + raw MAC
+)
+
+// encodeEnvelopeV2 lays a sealed envelope out as a v2 frame body.
+func encodeEnvelopeV2(e Envelope) ([]byte, error) {
+	tb, ok := typeToByte[e.Type]
+	if !ok {
+		return nil, fmt.Errorf("transport: type %q has no v2 type byte", e.Type)
+	}
+	if len(e.MAC) != sha256.Size {
+		return nil, fmt.Errorf("transport: v2 envelope needs a %d-byte MAC, have %d", sha256.Size, len(e.MAC))
+	}
+	body := make([]byte, 0, v2HeaderBytes+len(e.Payload))
+	body = append(body, wireFormatV2, tb)
+	body = append(body, e.MAC...)
+	body = append(body, e.Payload...)
+	return body, nil
+}
+
+// parseEnvelopeV2 decodes a v2 frame body (first byte already verified to
+// be wireFormatV2). The MAC is not checked here — Open does that, exactly
+// as for v1.
+func parseEnvelopeV2(body []byte) (Envelope, error) {
+	if len(body) < v2HeaderBytes {
+		return Envelope{}, fmt.Errorf("transport: v2 envelope truncated (%d bytes)", len(body))
+	}
+	msgType, ok := byteToType[body[1]]
+	if !ok {
+		return Envelope{}, fmt.Errorf("transport: unknown v2 type byte %d", body[1])
+	}
+	return Envelope{
+		Type:    msgType,
+		MAC:     body[2:v2HeaderBytes],
+		Payload: body[v2HeaderBytes:],
+		format:  wireFormatV2,
+	}, nil
+}
+
+// binaryAppender is the encode half of a v2 binary payload: append the
+// encoding to dst and return it. Implemented on payload values.
+type binaryAppender interface {
+	appendBinary(dst []byte) ([]byte, error)
+}
+
+// binaryDecoder is the decode half, implemented on payload pointers. The
+// input excludes the binPayloadMarker byte and must be fully consumed.
+type binaryDecoder interface {
+	decodeBinary(b []byte) error
+}
+
+// finish is the common decoder epilogue: surface the first decode error,
+// then reject trailing bytes (a framing bug or corruption).
+func finish(r *binio.Reader) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("%d trailing bytes", n)
+	}
+	return nil
+}
+
+// --- authenticate ---
+
+func (q authRequest) appendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendString(dst, q.UserID)
+	return features.AppendSampleBinary(dst, q.Sample), nil
+}
+
+func (q *authRequest) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	q.UserID = r.Str()
+	q.Sample = features.ReadSampleBinary(r)
+	return finish(r)
+}
+
+func (p authResponse) appendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendString(dst, p.Context)
+	dst = binio.AppendF64(dst, p.ContextConfidence)
+	dst = binio.AppendF64(dst, p.Score)
+	if p.Accepted {
+		return append(dst, 1), nil
+	}
+	return append(dst, 0), nil
+}
+
+func (p *authResponse) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	p.Context = r.Str()
+	p.ContextConfidence = r.F64()
+	p.Score = r.F64()
+	p.Accepted = r.Byte() != 0
+	return finish(r)
+}
+
+// minDecisionBytes bounds batch decision counts: empty context string
+// (1 byte), two float64s, accepted byte.
+const minDecisionBytes = 1 + 8 + 8 + 1
+
+// encodedSize is the exact appendBinary output size, for single-pass
+// frame building.
+func (p authResponse) encodedSize() int {
+	return binio.UvarintLen(uint64(len(p.Context))) + len(p.Context) + 8 + 8 + 1
+}
+
+// --- batch authenticate ---
+
+func (q batchAuthRequest) appendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendString(dst, q.UserID)
+	return features.AppendSampleListBinary(dst, q.Samples), nil
+}
+
+func (q *batchAuthRequest) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	q.UserID = r.Str()
+	q.Samples = features.ReadSampleListBinary(r)
+	return finish(r)
+}
+
+func (p batchAuthResponse) appendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendUvarint(dst, uint64(len(p.Decisions)))
+	var err error
+	for _, d := range p.Decisions {
+		if dst, err = d.appendBinary(dst); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (p *batchAuthResponse) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n > uint64(r.Remaining()/minDecisionBytes)+1 {
+		return fmt.Errorf("decision count %d exceeds %d remaining bytes", n, r.Remaining())
+	}
+	p.Decisions = make([]authResponse, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		var d authResponse
+		d.Context = r.Str()
+		d.ContextConfidence = r.F64()
+		d.Score = r.F64()
+		d.Accepted = r.Byte() != 0
+		p.Decisions = append(p.Decisions, d)
+	}
+	return finish(r)
+}
+
+// --- enroll ---
+
+func (q enrollRequest) appendBinary(dst []byte) ([]byte, error) {
+	dst = binio.AppendString(dst, q.UserID)
+	if q.Replace {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return features.AppendSampleListBinary(dst, q.Samples), nil
+}
+
+func (q *enrollRequest) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	q.UserID = r.Str()
+	q.Replace = r.Byte() != 0
+	q.Samples = features.ReadSampleListBinary(r)
+	return finish(r)
+}
+
+func (p enrollResponse) appendBinary(dst []byte) ([]byte, error) {
+	return binio.AppendUvarint(dst, uint64(p.Stored)), nil
+}
+
+func (p *enrollResponse) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	p.Stored = int(r.Uvarint())
+	return finish(r)
+}
+
+// --- model downloads ---
+// A trained bundle has no fixed width (per-context models, feature
+// subsets), so like the store's publish records it travels as a
+// length-prefixed JSON blob behind a uvarint version — the envelope and
+// MAC overhead still drop, and the bundle is decoded once, not re-escaped
+// through an intermediate JSON envelope string.
+
+func appendBundle(dst []byte, version int, bundle *core.ModelBundle) ([]byte, error) {
+	dst = binio.AppendUvarint(dst, uint64(version))
+	blob, err := json.Marshal(bundle)
+	if err != nil {
+		return nil, err
+	}
+	return binio.AppendBytes(dst, blob), nil
+}
+
+func readBundle(r *binio.Reader) (int, *core.ModelBundle) {
+	version := int(r.Uvarint())
+	blob := r.Bytes()
+	if r.Err() != nil {
+		return 0, nil
+	}
+	var bundle core.ModelBundle
+	if err := json.Unmarshal(blob, &bundle); err != nil {
+		r.Fail("bundle blob: %s", err)
+		return 0, nil
+	}
+	return version, &bundle
+}
+
+func (p fetchModelResponse) appendBinary(dst []byte) ([]byte, error) {
+	return appendBundle(dst, p.Version, p.Bundle)
+}
+
+func (p *fetchModelResponse) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	p.Version, p.Bundle = readBundle(r)
+	return finish(r)
+}
+
+func (p trainResponse) appendBinary(dst []byte) ([]byte, error) {
+	return appendBundle(dst, p.Version, p.Bundle)
+}
+
+func (p *trainResponse) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	p.Version, p.Bundle = readBundle(r)
+	return finish(r)
+}
+
+// --- stream open ---
+
+func (q streamOpenRequest) appendBinary(dst []byte) ([]byte, error) {
+	return binio.AppendString(dst, q.UserID), nil
+}
+
+func (q *streamOpenRequest) decodeBinary(b []byte) error {
+	r := binio.NewReader(b)
+	q.UserID = r.Str()
+	return finish(r)
+}

@@ -262,6 +262,18 @@ type (
 	RedirectError = transport.RedirectError
 	// AuthDecision is the server-side authenticate verdict.
 	AuthDecision = transport.AuthDecision
+	// AuthSession is a kept-alive client connection: many round trips —
+	// including batched authentication — over one dialed, authenticated
+	// flow. Create one with AuthClient.NewSession.
+	AuthSession = transport.Session
+	// AuthStream is a streaming authentication session: the HMAC handshake
+	// and model resolution happen once, then raw window frames flow in and
+	// decision frames flow out over envelope v2's stream mode. Open one
+	// with AuthSession.StartStream.
+	AuthStream = transport.Stream
+	// WireStats is the wire-protocol slice of AuthServerStats: v2 request,
+	// batch-window and stream counters.
+	WireStats = transport.WireStats
 )
 
 // Autonomous drift-triggered retraining: the server-side closed loop of
