@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-auth bench-wire bench-replication bench-fleet race-pool race-replication race-retrain check-scenarios
+.PHONY: check build vet fmt test race fuzz bench bench-auth bench-wire bench-replication bench-cluster bench-fleet race-pool race-replication race-retrain race-cluster check-scenarios
 
-check: build vet fmt race race-pool race-replication race-retrain check-scenarios
+check: build vet fmt race race-pool race-replication race-retrain race-cluster check-scenarios
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzReplFrame -fuzztime=10s ./internal/replication/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeDriftStates -fuzztime=10s ./internal/retrain/
 	$(GO) test -run=Fuzz -fuzz=FuzzScenarioConfig -fuzztime=10s ./internal/fleet/
+	$(GO) test -run=Fuzz -fuzz=FuzzShardMap -fuzztime=10s ./internal/cluster/
 
 # Smoke-run the store benchmarks under the race detector: one iteration
 # each, so the hot-path assertions (recovered counts, parallel enroll)
@@ -90,17 +91,35 @@ race-retrain:
 	$(GO) test -race -run='TestRetrainRaceHammer' ./internal/transport/
 	$(GO) test -race -run='TestRetrainSchedulerHammer' ./internal/retrain/
 
+# Shard-handoff hammer under the race detector: concurrent routed
+# writes race a live shard acquisition between two full cluster nodes —
+# seal, mesh convergence, map publish, and the no-acked-write-lost
+# invariant all execute with full instrumentation. Pinned by name like
+# race-pool.
+race-cluster:
+	$(GO) test -race -run='TestHandoffUnderConcurrentWrites' ./internal/cluster/
+
 # Follower catch-up throughput: a cold follower replaying a seeded
 # leader's log over TCP. Baseline lives in BENCH_store.json.
 bench-replication:
 	$(GO) test -run=xxx -bench=BenchmarkFollowerCatchUp -benchtime=50x ./internal/replication/
 
+# Cluster-wide enroll throughput: the same 3-process durable write load
+# against a single-leader layout (one leader + two replicas) and a
+# 3-node shard-ownership cluster, both replicating every record to three
+# stores. Same-invocation comparison is essential — this host's ambient
+# fsync latency drifts minute to minute — so both topologies run from
+# one command. Numbers land in BENCH_store.json's cluster block.
+bench-cluster:
+	$(GO) test -run=xxx -bench=BenchmarkClusterEnroll -benchtime=3s -count=3 -timeout=30m ./internal/cluster/
+
 # Scenario regression suite under the race detector: every shipped
 # profile in scenarios/ runs at smoke scale (200-identity fleet, 30 s op
 # budget) against an in-process topology — the follower one fails over
+# mid-run, the cluster one rebalances shard ownership onto a spare node
 # mid-run — and must hold its SLO. Pinned by name like race-pool.
 check-scenarios:
-	$(GO) test -race -run='TestScenarioSmoke|TestFailoverUnderLoad' ./internal/fleet/
+	$(GO) test -race -run='TestScenarioSmoke|TestFailoverUnderLoad|TestRebalanceUnderLoad' ./internal/fleet/
 
 # Fleet-scale load benchmark: replays every shipped scenario through
 # cmd/loadgen and refreshes BENCH_fleet.json. The profiles carry full

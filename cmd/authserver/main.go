@@ -32,6 +32,27 @@
 // (handshake once, then raw CRC-tailed window frames in and decision
 // frames out). Server stats report per-format traffic counters.
 //
+// A shard-ownership cluster replaces the single write leader with N
+// writable nodes, each the leader for a subset of the store's FNV shards
+// while replicating every shard to its peers over a full mesh:
+//
+//   - Every node runs with the same -cluster-peers list: comma-separated
+//     client/repl/ctrl address triples, one per node, in a canonical
+//     order shared by the whole cluster. -cluster-ctrl names this node's
+//     own control address, identifying it inside the list.
+//   - Shard ownership auto-balances round-robin across the peers. With
+//     -owned-shards, the node instead takes the listed shards from their
+//     current owners at startup with a live handoff (seal, converge over
+//     the mesh, publish the new map) — no acked write is lost.
+//   - At startup the node adopts the live cluster map from any answering
+//     peer (joining it if absent) and falls back to the balanced
+//     founding map when no peer is up yet, so the same command line
+//     cold-starts a cluster and rejoins a running one.
+//
+// Writes for shards a node does not own answer with a redirect to the
+// owner; clients with RouteByShard cache the versioned shard map and go
+// straight to the right node.
+//
 // -retrain enables autonomous drift-triggered retraining (the paper's
 // Fig. 7 loop, server side): every served authenticate decision updates a
 // per-user confidence EWMA, and users that sink below -retrain-threshold
@@ -46,6 +67,8 @@
 //	    [-data-dir /var/lib/smarteryou] [-shards 8] [-keep-models 16] \
 //	    [-replication-addr 127.0.0.1:7700] \
 //	    [-replicate-from 127.0.0.1:7700] [-promote] \
+//	    [-cluster-peers host1:7600/host1:7700/host1:7800,host2:7600/host2:7700/host2:7800] \
+//	    [-cluster-ctrl host1:7800] [-owned-shards 0,2,4] \
 //	    [-retrain] [-retrain-threshold 0.2] [-retrain-budget 2] \
 //	    [-retrain-cooldown 30m] [-retrain-recent 400]
 package main
@@ -56,6 +79,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +105,10 @@ func run() int {
 		replicateFrom   = flag.String("replicate-from", "", "run as a read-only follower of the leader's replication listener at this address (requires -data-dir)")
 		promote         = flag.Bool("promote", false, "start a former follower's -data-dir as the new leader (the store must not be empty)")
 
+		clusterPeers = flag.String("cluster-peers", "", "comma-separated client/repl/ctrl address triples of every cluster node, in an order shared by the whole cluster (enables shard-ownership cluster mode; requires -data-dir)")
+		clusterCtrl  = flag.String("cluster-ctrl", "", "this node's control-endpoint address, identifying it inside -cluster-peers")
+		ownedShards  = flag.String("owned-shards", "", "comma-separated shard indexes this node should own; missing ones are taken from their owners with a live handoff at startup (default: the auto-balanced share)")
+
 		retrainOn        = flag.Bool("retrain", false, "enable autonomous drift-triggered retraining from served authenticate decisions")
 		retrainThreshold = flag.Float64("retrain-threshold", 0.2, "confidence-EWMA level below which a user becomes a retrain candidate (the paper's epsilon_CS)")
 		retrainBudget    = flag.Int("retrain-budget", 2, "scheduled retrains allowed to run concurrently")
@@ -103,6 +132,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "authserver: -promote and -replicate-from are mutually exclusive (promote takes over as leader)")
 		return 2
 	}
+	if *clusterPeers != "" {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "authserver: cluster mode needs -data-dir (the WAL is the mesh replication log)")
+			return 2
+		}
+		if *replicateFrom != "" || *promote || *replicationAddr != "" {
+			fmt.Fprintln(os.Stderr, "authserver: -cluster-peers is exclusive with -replicate-from/-promote/-replication-addr (a cluster node runs its own replication listener from its address triple)")
+			return 2
+		}
+	} else if *clusterCtrl != "" || *ownedShards != "" {
+		fmt.Fprintln(os.Stderr, "authserver: -cluster-ctrl and -owned-shards need -cluster-peers")
+		return 2
+	}
 	var retrainCfg *smarteryou.ServerRetrainConfig
 	if *retrainOn {
 		retrainCfg = &smarteryou.ServerRetrainConfig{
@@ -113,6 +155,15 @@ func run() int {
 		}
 		log.Printf("drift retraining enabled: threshold %.2f, budget %d, cooldown %s, recent %d windows",
 			*retrainThreshold, *retrainBudget, *retrainCooldown, *retrainRecent)
+	}
+
+	if *clusterPeers != "" {
+		return runCluster(clusterSettings{
+			addr: *addr, key: *key, peers: *clusterPeers, ctrl: *clusterCtrl,
+			owned: *ownedShards, dataDir: *dataDir,
+			shards: *shards, keepModels: *keepModels, trainWorkers: *trainWorkers,
+			seedUsers: *seedUsers, seed: *seed, retrain: retrainCfg,
+		})
 	}
 
 	var store *smarteryou.PopulationStore
@@ -157,30 +208,12 @@ func run() int {
 	var population map[string][]smarteryou.WindowSample
 	if detector == nil || needSeed {
 		log.Printf("generating %d-user context-training corpus...", *seedUsers)
-		pop, err := smarteryou.NewPopulation(*seedUsers, *seed)
+		var ctxTrain []smarteryou.WindowSample
+		var err error
+		population, ctxTrain, err = synthesizeCorpus(*seedUsers, *seed)
 		if err != nil {
 			log.Print(err)
 			return 1
-		}
-		population = make(map[string][]smarteryou.WindowSample, *seedUsers)
-		var ctxTrain []smarteryou.WindowSample
-		for i, u := range pop.Users {
-			samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
-				WindowSeconds:  6,
-				SessionSeconds: 120,
-				Sessions:       2,
-				Contexts: []smarteryou.Context{
-					smarteryou.ContextStationaryUse, smarteryou.ContextMovingUse,
-					smarteryou.ContextPhoneOnTable, smarteryou.ContextOnVehicle,
-				},
-				Seed: *seed + int64(i)*17,
-			})
-			if err != nil {
-				log.Print(err)
-				return 1
-			}
-			population[u.ID] = samples
-			ctxTrain = append(ctxTrain, samples...)
 		}
 		if detector == nil {
 			detector, err = smarteryou.TrainContextDetector(
@@ -432,6 +465,305 @@ func runFollower(store *smarteryou.PopulationStore, addr, key, leaderAddr, repli
 	}
 	log.Printf("durable store flushed")
 	return code
+}
+
+// clusterSettings carries the flag values of the shard-ownership
+// cluster mode.
+type clusterSettings struct {
+	addr, key, peers, ctrl, owned, dataDir string
+	shards, keepModels, trainWorkers       int
+	seedUsers                              int
+	seed                                   int64
+	retrain                                *smarteryou.ServerRetrainConfig
+}
+
+// runCluster runs one node of the shard-ownership cluster: replication
+// leader for the shards it owns, mesh follower of every peer, serving
+// reads for the whole population and redirecting writes it does not
+// own. The node listens on its own triple from -cluster-peers (-addr is
+// ignored; the triple is the one source of addresses).
+func runCluster(cfg clusterSettings) int {
+	infos, selfIdx, err := parseClusterPeers(cfg.peers, cfg.ctrl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "authserver: %v\n", err)
+		return 2
+	}
+	self := infos[selfIdx]
+	want, err := parseShardList(cfg.owned)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "authserver: -owned-shards: %v\n", err)
+		return 2
+	}
+
+	// A cluster store skips the per-record fsync for mesh copies: the
+	// shard owner is durable before acking, and a handoff re-syncs the
+	// shard before ownership moves.
+	store, err := smarteryou.OpenStore(cfg.dataDir, smarteryou.StoreOptions{
+		Shards:            cfg.shards,
+		KeepModelVersions: cfg.keepModels,
+		ReplicaNoSync:     true,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	st := store.Stats()
+	log.Printf("durable store %s: %d shards, recovered %d users, %d windows",
+		cfg.dataDir, len(st.Shards), st.Users, st.Windows)
+	if store.ShardCount() < len(infos) {
+		log.Printf("warning: %d shards over %d nodes leaves nodes with no writable share; create the store with -shards >= node count", store.ShardCount(), len(infos))
+	}
+
+	// Bootstrap map: adopt the live cluster's map from any answering
+	// peer; found the cluster on the balanced map when nobody is up yet
+	// (every founding node derives the same one from the shared peer
+	// list).
+	var m *smarteryou.ClusterShardMap
+	for i, info := range infos {
+		if i == selfIdx {
+			continue
+		}
+		fetched, err := smarteryou.FetchClusterMap(info.CtrlAddr, []byte(cfg.key), 2*time.Second)
+		if err != nil {
+			continue
+		}
+		if m == nil || fetched.Version > m.Version {
+			m = fetched
+		}
+	}
+	if m != nil {
+		log.Printf("adopted cluster map v%d from a peer", m.Version)
+	} else {
+		m, err = smarteryou.BalancedShardMap(infos, store.ShardCount())
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("no peer answered; founding on the balanced map (%d shards over %d nodes)", m.Shards(), len(infos))
+	}
+
+	// Detector: recover from the registry, else train it from the
+	// deterministic corpus — identical on every node for the same -seed.
+	// Only the node owning the detector's registry shard publishes it;
+	// the record reaches everyone else over the mesh.
+	var detector *smarteryou.Detector
+	if det, err := store.LatestDetector(); err == nil {
+		detector = det
+		log.Printf("loaded context detector from registry")
+	}
+	needSeed := st.Users == 0
+	var population map[string][]smarteryou.WindowSample
+	if detector == nil || needSeed {
+		log.Printf("generating %d-user context-training corpus...", cfg.seedUsers)
+		var ctxTrain []smarteryou.WindowSample
+		population, ctxTrain, err = synthesizeCorpus(cfg.seedUsers, cfg.seed)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		if detector == nil {
+			detector, err = smarteryou.TrainContextDetector(
+				smarteryou.ContextTrainingData(ctxTrain), smarteryou.DetectorConfig{Seed: cfg.seed})
+			if err != nil {
+				log.Print(err)
+				return 1
+			}
+			selfInMap := mapIndexOf(m, self.CtrlAddr)
+			if detShard := m.ShardForUser(smarteryou.DetectorRegistryKey); selfInMap >= 0 && m.OwnerOf(detShard) == selfInMap {
+				if err := store.PublishDetector(detector); err != nil {
+					log.Print(err)
+					return 1
+				}
+				log.Printf("published context detector to registry (this node owns its shard %d)", detShard)
+			}
+		}
+	}
+
+	node, err := smarteryou.NewClusterNode(smarteryou.ClusterNodeConfig{
+		Self:  self,
+		Map:   m,
+		Store: store,
+		Key:   []byte(cfg.key),
+		Logf:  log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	server, err := smarteryou.NewAuthServer(smarteryou.AuthServerConfig{
+		Key:          []byte(cfg.key),
+		Detector:     detector,
+		Logf:         log.Printf,
+		Store:        store,
+		TrainWorkers: cfg.trainWorkers,
+		Retrain:      cfg.retrain,
+		Router:       node,
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	// Seed only the users whose shards this node owns: every node runs
+	// the same flags, derives the same corpus, and contributes exactly
+	// its share — the mesh converges the full population everywhere.
+	if needSeed && population != nil {
+		selfInMap := mapIndexOf(m, self.CtrlAddr)
+		mine := make(map[string][]smarteryou.WindowSample)
+		for id, samples := range population {
+			if selfInMap >= 0 && m.OwnerOf(m.ShardForUser(smarteryou.AnonymizeUser(id))) == selfInMap {
+				mine[id] = samples
+			}
+		}
+		server.SeedPopulation(mine)
+		log.Printf("seeded %d of %d synthetic users (this node's shards)", len(mine), len(population))
+	}
+
+	if err := node.Start(smarteryou.ClusterHooks{
+		OnApply:    server.ApplyReplicatedOp,
+		OnSnapshot: func(int) { server.ReloadFromStore() },
+	}); err != nil {
+		log.Print(err)
+		return 1
+	}
+	bound, err := server.Start(self.ClientAddr)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if mapIndexOf(node.Map(), self.CtrlAddr) < 0 {
+		if err := node.Join(30 * time.Second); err != nil {
+			log.Printf("join cluster: %v", err)
+			return 1
+		}
+		log.Printf("joined the cluster: map now v%d", node.Map().Version)
+	}
+	if len(want) > 0 {
+		// Peers may still be booting in a cold cluster start; keep
+		// retrying the handoff until they answer. Each attempt stays
+		// under the owners' seal timeout so a failed round unseals.
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if err = node.AcquireShards(want, 8*time.Second); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				log.Printf("acquire -owned-shards: %v", err)
+				return 1
+			}
+			log.Printf("shard handoff not ready (%v); retrying", err)
+			time.Sleep(time.Second)
+		}
+	}
+	owned, total := node.OwnedShards()
+	log.Printf("cluster node listening on %s: map v%d, owning %d of %d shards %v",
+		bound, node.Map().Version, owned, total, node.Map().OwnedBy(mapIndexOf(node.Map(), self.CtrlAddr)))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("shutting down")
+	code := 0
+	if err := server.Close(); err != nil {
+		log.Printf("close: %v", err)
+		code = 1
+	}
+	if err := node.Close(); err != nil {
+		log.Printf("close cluster node: %v", err)
+		code = 1
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("close store: %v", err)
+		code = 1
+	}
+	log.Printf("durable store flushed")
+	return code
+}
+
+// parseClusterPeers parses the -cluster-peers triples and locates this
+// node in them by its -cluster-ctrl address.
+func parseClusterPeers(list, ctrl string) ([]smarteryou.ClusterNodeInfo, int, error) {
+	if ctrl == "" {
+		return nil, 0, fmt.Errorf("-cluster-peers needs -cluster-ctrl to identify this node")
+	}
+	self := -1
+	var infos []smarteryou.ClusterNodeInfo
+	for _, ent := range strings.Split(list, ",") {
+		parts := strings.Split(strings.TrimSpace(ent), "/")
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return nil, 0, fmt.Errorf("-cluster-peers entry %q: want a client/repl/ctrl address triple", strings.TrimSpace(ent))
+		}
+		info := smarteryou.ClusterNodeInfo{ClientAddr: parts[0], ReplAddr: parts[1], CtrlAddr: parts[2]}
+		if info.CtrlAddr == ctrl {
+			if self >= 0 {
+				return nil, 0, fmt.Errorf("-cluster-peers lists control address %s twice", ctrl)
+			}
+			self = len(infos)
+		}
+		infos = append(infos, info)
+	}
+	if self < 0 {
+		return nil, 0, fmt.Errorf("-cluster-ctrl %s does not appear in -cluster-peers", ctrl)
+	}
+	return infos, self, nil
+}
+
+// parseShardList parses the -owned-shards indexes (range checking is the
+// handoff's job — it knows the map).
+func parseShardList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard index %q", strings.TrimSpace(f))
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// mapIndexOf locates a node in a shard map by control address (-1: not
+// a member).
+func mapIndexOf(m *smarteryou.ClusterShardMap, ctrlAddr string) int {
+	for i, n := range m.Nodes {
+		if n.CtrlAddr == ctrlAddr {
+			return i
+		}
+	}
+	return -1
+}
+
+// synthesizeCorpus generates the synthetic seed population and the
+// pooled context-training windows. Generation is deterministic in
+// (seedUsers, seed), so every cluster node started with the same flags
+// derives the identical corpus — and from it, the identical detector.
+func synthesizeCorpus(seedUsers int, seed int64) (map[string][]smarteryou.WindowSample, []smarteryou.WindowSample, error) {
+	pop, err := smarteryou.NewPopulation(seedUsers, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	population := make(map[string][]smarteryou.WindowSample, seedUsers)
+	var ctxTrain []smarteryou.WindowSample
+	for i, u := range pop.Users {
+		samples, err := smarteryou.Collect(u, smarteryou.CollectOptions{
+			WindowSeconds:  6,
+			SessionSeconds: 120,
+			Sessions:       2,
+			Contexts: []smarteryou.Context{
+				smarteryou.ContextStationaryUse, smarteryou.ContextMovingUse,
+				smarteryou.ContextPhoneOnTable, smarteryou.ContextOnVehicle,
+			},
+			Seed: seed + int64(i)*17,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		population[u.ID] = samples
+		ctxTrain = append(ctxTrain, samples...)
+	}
+	return population, ctxTrain, nil
 }
 
 // replicationInfo shapes a replication status for the stats response.

@@ -5,11 +5,13 @@
 //
 // By default each scenario self-hosts: loadgen synthesizes the template
 // workload, starts the scenario's in-process topology (a single server,
-// or a leader–follower pair with traffic aimed at the follower), runs the
-// load through the scenario's simulated network conditions, and tears the
-// cluster down. With -addr the same traffic targets an already-running
-// authserver instead (network conditioning still applies; follower
-// topologies and failover hooks need self-hosting and are skipped).
+// a leader–follower pair with traffic aimed at the follower, or a
+// shard-ownership cluster with a spare node for mid-run rebalance), runs
+// the load through the scenario's simulated network conditions, and
+// tears the cluster down. With -addr the same traffic targets an
+// already-running authserver instead (network conditioning still
+// applies; multi-node topologies and their mid-run hooks need
+// self-hosting and are skipped).
 //
 // Scenario files carry full fleet sizes (10^5..10^6 identities); -users
 // and -duration scale a run down (or up) proportionally, cohort and
@@ -75,8 +77,8 @@ func run() int {
 		if *workers > 0 {
 			sc.Workers = *workers
 		}
-		if *addr != "" && sc.Cluster == fleet.ClusterFollower {
-			logf("loadgen: skipping %s: follower topology needs self-hosting", sc.Name)
+		if *addr != "" && sc.Cluster != fleet.ClusterSingle {
+			logf("loadgen: skipping %s: the %s topology needs self-hosting", sc.Name, sc.Cluster)
 			continue
 		}
 		rep, err := runScenario(sc, *addr, []byte(*key), logf)
@@ -142,7 +144,7 @@ func runScenario(sc fleet.Scenario, extAddr string, key []byte, logf func(string
 	defer func() { _ = cluster.Close() }()
 
 	opts.Addr = cluster.Addr
-	var failoverTook float64
+	var failoverTook, rebalanceTook float64
 	if sc.FailoverAt > 0 {
 		opts.MidRun = func() {
 			took := cluster.Failover()
@@ -150,11 +152,19 @@ func runScenario(sc fleet.Scenario, extAddr string, key []byte, logf func(string
 			logf("loadgen: %s: leader killed, follower promoted in %s", sc.Name, took)
 		}
 	}
+	if sc.RebalanceAt > 0 {
+		opts.MidRun = func() {
+			took := cluster.Rebalance()
+			rebalanceTook = float64(took.Milliseconds())
+			logf("loadgen: %s: spare node joined, shards handed off in %s", sc.Name, took)
+		}
+	}
 	rep, err := fleet.Run(sc, w, opts)
 	if err != nil {
 		return nil, err
 	}
 	rep.FailoverTookMs = failoverTook
+	rep.RebalanceTookMs = rebalanceTook
 	return rep, nil
 }
 

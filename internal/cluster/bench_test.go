@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"smarteryou/internal/replication"
+	"smarteryou/internal/store"
+)
+
+// benchConcurrency is the number of in-flight enrolls the benchmark
+// client keeps open. The write bottleneck under test is the fsync
+// inside each node's durability section — I/O wait, not CPU — so
+// overlap matters even on one core, and RunParallel's default of one
+// goroutine per GOMAXPROCS would serialize the client and hide the
+// cluster's parallel durability sections entirely.
+const benchConcurrency = 24
+
+// BenchmarkClusterEnroll measures aggregate enroll throughput through
+// the full stack — routed client, transport servers, WAL-first stores
+// with real fsync — for the two three-process topologies this repo can
+// deploy on the same host: the single-leader layout (one writable
+// leader plus two read replicas, the pre-cluster architecture) versus
+// a 3-node shard-ownership cluster. Both replicate every record to
+// three stores with identical durability (owner fsyncs before acking,
+// replicas apply without per-record sync); the only difference is how
+// many processes accept writes. The single leader serializes every
+// enroll's durability section behind one server mutex; the cluster
+// runs one per node, so acknowledged-write throughput scales with node
+// count until the disk saturates.
+func BenchmarkClusterEnroll(b *testing.B) {
+	for _, nodes := range []int{1, 3} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			// ReplicaNoSync is the recommended cluster configuration: the
+			// owner fsyncs before acking, mesh copies are re-pullable by
+			// sequence, and handoff re-syncs before ownership moves.
+			// Without it every write costs nodes× device fsyncs and the
+			// cluster scales the disk's sync load instead of its
+			// throughput.
+			servers := startServedCluster(b, nodes, 6, store.Options{SnapshotEvery: -1, ReplicaNoSync: true}, nil)
+			for extra := nodes; extra < 3; extra++ {
+				// Pad the single-leader topology up to three processes with
+				// plain read replicas so both sides replicate each record to
+				// the same number of stores.
+				fst := openStore(b, b.TempDir(), store.Options{Shards: 6, SnapshotEvery: -1, ReplicaNoSync: true})
+				f, err := replication.StartFollower(replication.FollowerConfig{
+					Store:      fst,
+					Key:        testKey,
+					LeaderAddr: servers[0].replAddr,
+				})
+				if err != nil {
+					b.Fatalf("StartFollower: %v", err)
+				}
+				b.Cleanup(func() { _ = f.Close() })
+			}
+			client := routedClient(b, servers[0].addr)
+			if _, err := client.ShardMap(); err != nil {
+				b.Fatalf("ShardMap: %v", err)
+			}
+			samples := fakeSamples("bench", 1, 1.0)
+			var ctr atomic.Int64
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			if p := benchConcurrency / runtime.GOMAXPROCS(0); p > 1 {
+				b.SetParallelism(p)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					// Cycle a bounded user pool with replace semantics: each
+					// iteration pays the full durable-write path (WAL append,
+					// fsync, replication) while the resident population — and
+					// with it GC mark cost — stays constant, so ns/op measures
+					// steady-state write throughput instead of heap growth.
+					id := fmt.Sprintf("bench-user-%06d", ctr.Add(1)%4096)
+					if _, err := client.ReplaceEnrollment(id, samples); err != nil {
+						b.Errorf("Enroll: %v", err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

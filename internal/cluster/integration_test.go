@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"smarteryou/internal/ctxdetect"
+	"smarteryou/internal/features"
+	"smarteryou/internal/retrain"
+	"smarteryou/internal/sensing"
+	"smarteryou/internal/store"
+	"smarteryou/internal/transport"
+)
+
+// fixture is the shared end-to-end test corpus: a real context detector
+// and per-user enrollment windows. Built once — detector training is
+// the expensive part.
+var (
+	fixtureOnce sync.Once
+	fixtureDet  *ctxdetect.Detector
+	fixturePop  map[string][]features.WindowSample
+	fixtureErr  error
+)
+
+func buildFixture(t testing.TB) (*ctxdetect.Detector, map[string][]features.WindowSample) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		pop, err := sensing.NewPopulation(5, 777)
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixturePop = make(map[string][]features.WindowSample)
+		var ctxTrain []features.WindowSample
+		for i, u := range pop.Users {
+			samples, err := features.Collect(u, features.CollectOptions{
+				WindowSeconds:  6,
+				SessionSeconds: 60,
+				Sessions:       1,
+				Seed:           int64(10 + i),
+			})
+			if err != nil {
+				fixtureErr = err
+				return
+			}
+			fixturePop[u.ID] = samples
+			ctxTrain = append(ctxTrain, samples...)
+		}
+		fixtureDet, fixtureErr = ctxdetect.Train(ctxdetect.FromSamples(ctxTrain), ctxdetect.Config{Seed: 1, Trees: 10})
+	})
+	if fixtureErr != nil {
+		t.Fatalf("fixture: %v", fixtureErr)
+	}
+	return fixtureDet, fixturePop
+}
+
+// clusterServer is one full node: store, cluster membership, transport
+// server.
+type clusterServer struct {
+	st       *store.Store
+	node     *Node
+	srv      *transport.Server
+	addr     string
+	replAddr string
+}
+
+// startServedCluster brings up count full nodes — store + cluster node
+// + transport server wired through the ShardRouter — and returns them
+// with every listener live.
+func startServedCluster(t testing.TB, count, shards int, opt store.Options, retrainCfg *retrain.Config) []*clusterServer {
+	t.Helper()
+	det, _ := buildFixture(t)
+
+	infos := make([]NodeInfo, count)
+	clientLns := make([]net.Listener, count)
+	replLns := make([]net.Listener, count)
+	ctrlLns := make([]net.Listener, count)
+	for i := range infos {
+		clientLns[i], replLns[i], ctrlLns[i] = listen(t), listen(t), listen(t)
+		infos[i] = NodeInfo{
+			ClientAddr: clientLns[i].Addr().String(),
+			ReplAddr:   replLns[i].Addr().String(),
+			CtrlAddr:   ctrlLns[i].Addr().String(),
+		}
+	}
+	m, err := BalancedMap(infos, shards)
+	if err != nil {
+		t.Fatalf("BalancedMap: %v", err)
+	}
+	opt.Shards = shards
+	out := make([]*clusterServer, count)
+	for i := range infos {
+		st := openStore(t, t.TempDir(), opt)
+		node, err := NewNode(NodeConfig{
+			Self:         infos[i],
+			Map:          m,
+			Store:        st,
+			Key:          testKey,
+			SealTimeout:  2 * time.Second,
+			ReplListener: replLns[i],
+			CtrlListener: ctrlLns[i],
+		})
+		if err != nil {
+			t.Fatalf("NewNode(%d): %v", i, err)
+		}
+		srv, err := transport.NewServer(transport.ServerConfig{
+			Key:      testKey,
+			Detector: det,
+			Store:    st,
+			Router:   node,
+			Retrain:  retrainCfg,
+		})
+		if err != nil {
+			t.Fatalf("NewServer(%d): %v", i, err)
+		}
+		if err := node.Start(Hooks{
+			OnApply:    srv.ApplyReplicatedOp,
+			OnSnapshot: func(int) { srv.ReloadFromStore() },
+		}); err != nil {
+			t.Fatalf("node.Start(%d): %v", i, err)
+		}
+		if _, err := srv.StartListener(clientLns[i]); err != nil {
+			t.Fatalf("srv.Start(%d): %v", i, err)
+		}
+		cs := &clusterServer{st: st, node: node, srv: srv, addr: infos[i].ClientAddr, replAddr: infos[i].ReplAddr}
+		t.Cleanup(func() {
+			_ = cs.srv.Close()
+			_ = cs.node.Close()
+		})
+		out[i] = cs
+	}
+	return out
+}
+
+func routedClient(t testing.TB, addr string) *transport.Client {
+	t.Helper()
+	c, err := transport.NewClient(transport.ClientConfig{
+		Addr:         addr,
+		Key:          testKey,
+		Timeout:      10 * time.Second,
+		RouteByShard: true,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return c
+}
+
+// TestClusterEndToEnd drives the full stack: a shard-routing client
+// enrolls and trains against a 3-node cluster, writes land partitioned
+// across owners, any node authenticates any user, a live rebalance
+// redirects the (stale-mapped) client transparently, and the
+// drift-state message reports monitor state.
+func TestClusterEndToEnd(t *testing.T) {
+	_, pop := buildFixture(t)
+	servers := startServedCluster(t, 3, 6, store.Options{NoSync: true, SnapshotEvery: -1},
+		&retrain.Config{Threshold: -10, MinWindows: 1 << 30}) // monitor only, never fire
+
+	client := routedClient(t, servers[0].addr)
+
+	// The shard map is served and cached.
+	info, err := client.ShardMap()
+	if err != nil {
+		t.Fatalf("ShardMap: %v", err)
+	}
+	if info.Version != 1 || len(info.Nodes) != 3 || len(info.Owners) != 6 {
+		t.Fatalf("ShardMap = %+v", info)
+	}
+
+	users := make([]string, 0, len(pop))
+	for id, samples := range pop {
+		if _, err := client.Enroll(id, samples); err != nil {
+			t.Fatalf("Enroll(%s): %v", id, err)
+		}
+		users = append(users, id)
+	}
+
+	// Enrolls were partitioned: no node's local write cursor covers the
+	// whole population, every node converges to all of it.
+	mesh := make([]*testNode, len(servers))
+	for i, cs := range servers {
+		mesh[i] = &testNode{st: cs.st, node: cs.node}
+	}
+	waitMeshConverged(t, mesh)
+	for i, cs := range servers {
+		if got := len(cs.st.Population()); got != len(users) {
+			t.Fatalf("node %d population = %d users, want %d", i, got, len(users))
+		}
+	}
+
+	// Train through the routed client, then authenticate the user against
+	// every node — reads are served anywhere.
+	target := users[0]
+	bundle, _, err := client.TrainVersioned(target, transport.TrainParams{})
+	if err != nil {
+		t.Fatalf("Train(%s): %v", target, err)
+	}
+	if bundle == nil {
+		t.Fatal("no bundle")
+	}
+	waitMeshConverged(t, mesh)
+	window := pop[target][0]
+	for i, cs := range servers {
+		direct, err := transport.NewClient(transport.ClientConfig{Addr: cs.addr, Key: testKey, Timeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("NewClient(%d): %v", i, err)
+		}
+		if _, err := direct.Authenticate(target, window); err != nil {
+			t.Fatalf("Authenticate on node %d: %v", i, err)
+		}
+	}
+
+	// Drift state: the authenticates above fed some node's monitor.
+	found := false
+	for _, cs := range servers {
+		direct, err := transport.NewClient(transport.ClientConfig{Addr: cs.addr, Key: testKey, Timeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		if st, ok, err := direct.DriftState(target); err != nil {
+			t.Fatalf("DriftState: %v", err)
+		} else if ok {
+			found = true
+			if st.Windows == 0 || st.LastTrainAgeSeconds < 0 {
+				t.Fatalf("DriftState = %+v", st)
+			}
+		}
+		states, err := direct.DriftStates(10)
+		if err != nil {
+			t.Fatalf("DriftStates: %v", err)
+		}
+		for i := 1; i < len(states); i++ {
+			if states[i-1].EWMA > states[i].EWMA {
+				t.Fatalf("DriftStates not ascending: %+v", states)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no node has drift state for the authenticated user")
+	}
+
+	// Live rebalance: node 2 takes over node 0's shards; the client's
+	// cached map is now stale, but redirects chase it to the new owner
+	// and the refreshed map routes the rest directly.
+	moved := servers[0].node.Map().OwnedBy(0)
+	if err := servers[2].node.AcquireShards(moved, 10*time.Second); err != nil {
+		t.Fatalf("AcquireShards: %v", err)
+	}
+	for _, id := range users {
+		if _, err := client.Enroll(id, pop[id][:1]); err != nil {
+			t.Fatalf("Enroll(%s) after rebalance: %v", id, err)
+		}
+	}
+	if m, err := client.ShardMap(); err != nil || m.Version < 2 {
+		t.Fatalf("client map after rebalance = v%d, %v (want >= v2)", m.Version, err)
+	}
+	waitMeshConverged(t, mesh)
+	for i, cs := range servers {
+		pop2 := cs.st.Population()
+		for _, id := range users {
+			anon := transport.AnonymizeUser(id)
+			if len(pop2[anon]) != len(pop[id])+1 {
+				t.Fatalf("node %d has %d windows for %s, want %d", i, len(pop2[anon]), id, len(pop[id])+1)
+			}
+		}
+	}
+}
+
+// TestClusterPartitionsWrites pins the tentpole claim at the wire
+// level: a non-owner answers an enroll with a redirect carrying the
+// owner's address, and a plain (non-routing) client surfaces it as a
+// RedirectError rather than silently writing to the wrong node.
+func TestClusterPartitionsWrites(t *testing.T) {
+	_, pop := buildFixture(t)
+	servers := startServedCluster(t, 2, 4, store.Options{NoSync: true, SnapshotEvery: -1}, nil)
+
+	var user string
+	for id := range pop {
+		user = id
+		break
+	}
+	// Find the node that does NOT own this user.
+	var nonOwner, owner *clusterServer
+	for _, cs := range servers {
+		if d, _ := cs.node.RouteWrite(transport.AnonymizeUser(user)); d == transport.RouteLocal {
+			owner = cs
+		} else {
+			nonOwner = cs
+		}
+	}
+	if owner == nil || nonOwner == nil {
+		t.Fatal("could not split owner/non-owner")
+	}
+	plain, err := transport.NewClient(transport.ClientConfig{Addr: nonOwner.addr, Key: testKey, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	_, err = plain.Enroll(user, pop[user][:1])
+	var re *transport.RedirectError
+	if !errors.As(err, &re) {
+		t.Fatalf("enroll at non-owner: %v, want RedirectError", err)
+	}
+	if re.Leader != owner.addr {
+		t.Fatalf("redirect to %q, want %q", re.Leader, owner.addr)
+	}
+}

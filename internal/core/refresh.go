@@ -109,9 +109,18 @@ func refreshOne(prev *ContextModel, legit, impostor []features.WindowSample, com
 	if err != nil {
 		return nil, err
 	}
+	// One reusable vector buffer serves every sample in both the add and
+	// score loops: AppendVector fills it and TransformInto standardizes it
+	// in place, so the refresh allocates O(1) vectors, not O(samples).
+	vec := make([]float64, 0, dim)
+	standardize := func(s features.WindowSample) []float64 {
+		vec = s.AppendVector(vec[:0], combined)
+		prev.Std.TransformInto(vec, vec)
+		return vec
+	}
 	add := func(samples []features.WindowSample, label bool) error {
 		for _, s := range samples {
-			if err := inc.AddSample(prev.Std.Transform(s.Vector(combined)), label); err != nil {
+			if err := inc.AddSample(standardize(s), label); err != nil {
 				return err
 			}
 		}
@@ -128,7 +137,7 @@ func refreshOne(prev *ContextModel, legit, impostor []features.WindowSample, com
 	// calibrates against the model that will actually serve.
 	legitScores := make([]float64, 0, len(legit))
 	for _, s := range legit {
-		v, err := inc.Score(prev.Std.Transform(s.Vector(combined)))
+		v, err := inc.Score(standardize(s))
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +145,7 @@ func refreshOne(prev *ContextModel, legit, impostor []features.WindowSample, com
 	}
 	impostorScores := make([]float64, 0, len(impostor))
 	for _, s := range impostor {
-		v, err := inc.Score(prev.Std.Transform(s.Vector(combined)))
+		v, err := inc.Score(standardize(s))
 		if err != nil {
 			return nil, err
 		}

@@ -2,10 +2,12 @@ package fleet
 
 import (
 	"fmt"
+	"net"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"smarteryou/internal/cluster"
 	"smarteryou/internal/replication"
 	"smarteryou/internal/retrain"
 	"smarteryou/internal/store"
@@ -34,8 +36,22 @@ type Cluster struct {
 	followerStore *store.Store
 	follower      *replication.Follower
 
-	failover sync.Once
-	closeOne sync.Once
+	// multi topology: shard-ownership nodes, the last one starting
+	// outside the ownership map as the Rebalance spare.
+	multi []*multiNode
+
+	failover     sync.Once
+	rebalance    sync.Once
+	rebalanceErr error
+	closeOne     sync.Once
+}
+
+// multiNode is one member of the multi-node topology.
+type multiNode struct {
+	st   *store.Store
+	node *cluster.Node
+	srv  *transport.Server
+	addr string
 }
 
 // ClusterOptions configures StartCluster.
@@ -72,6 +88,8 @@ func StartCluster(sc Scenario, w *Workload, opts ClusterOptions) (*Cluster, erro
 		return startSingle(sc, w, opts)
 	case ClusterFollower:
 		return startFollowerPair(sc, w, opts)
+	case ClusterMulti:
+		return startMulti(sc, w, opts)
 	default:
 		return nil, fmt.Errorf("fleet: unknown cluster topology %q", sc.Cluster)
 	}
@@ -180,7 +198,147 @@ func startFollowerPair(sc Scenario, w *Workload, opts ClusterOptions) (*Cluster,
 	return c, nil
 }
 
-// Failover kills the leader and promotes the follower in place; the
+// Multi-topology sizing: three full nodes over twelve FNV shards. The
+// first two own alternating shards at start; the third is a cold spare
+// outside the ownership map until Rebalance joins it mid-run.
+const (
+	multiNodes  = 3
+	multiShards = 12
+)
+
+func startMulti(sc Scenario, w *Workload, opts ClusterOptions) (*Cluster, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: cluster topology needs ClusterOptions.Dir for durable stores")
+	}
+	c := &Cluster{}
+	fail := func(step string, err error) (*Cluster, error) {
+		_ = c.Close()
+		return nil, fmt.Errorf("fleet: %s: %w", step, err)
+	}
+
+	listen := func() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+	infos := make([]cluster.NodeInfo, multiNodes)
+	clientLns := make([]net.Listener, multiNodes)
+	replLns := make([]net.Listener, multiNodes)
+	ctrlLns := make([]net.Listener, multiNodes)
+	for i := range infos {
+		var err error
+		if clientLns[i], err = listen(); err != nil {
+			return fail("cluster listeners", err)
+		}
+		if replLns[i], err = listen(); err != nil {
+			return fail("cluster listeners", err)
+		}
+		if ctrlLns[i], err = listen(); err != nil {
+			return fail("cluster listeners", err)
+		}
+		infos[i] = cluster.NodeInfo{
+			ClientAddr: clientLns[i].Addr().String(),
+			ReplAddr:   replLns[i].Addr().String(),
+			CtrlAddr:   ctrlLns[i].Addr().String(),
+		}
+	}
+
+	// The seed map covers the first two nodes only; the spare learns it
+	// at construction (membership index -1) and joins during Rebalance.
+	seed := &cluster.ShardMap{
+		Version: 1,
+		Nodes:   infos[:multiNodes-1],
+		Owner:   make([]int32, multiShards),
+	}
+	for shard := range seed.Owner {
+		seed.Owner[shard] = int32(shard % (multiNodes - 1))
+	}
+
+	for i := range infos {
+		// ReplicaNoSync is the cluster store configuration: the shard
+		// owner fsyncs before acking and the handoff path re-syncs before
+		// ownership moves, so mesh copies skip the per-record fsync.
+		st, err := store.Open(filepath.Join(opts.Dir, fmt.Sprintf("node-%d", i)),
+			store.Options{Shards: multiShards, ReplicaNoSync: true})
+		if err != nil {
+			return fail(fmt.Sprintf("node %d store", i), err)
+		}
+		mn := &multiNode{st: st, addr: infos[i].ClientAddr}
+		c.multi = append(c.multi, mn)
+		mn.node, err = cluster.NewNode(cluster.NodeConfig{
+			Self:         infos[i],
+			Map:          seed,
+			Store:        st,
+			Key:          opts.Key,
+			Logf:         opts.Logf,
+			SealTimeout:  15 * time.Second,
+			ReplListener: replLns[i],
+			CtrlListener: ctrlLns[i],
+		})
+		if err != nil {
+			return fail(fmt.Sprintf("node %d", i), err)
+		}
+		mn.srv, err = transport.NewServer(transport.ServerConfig{
+			Key:      opts.Key,
+			Detector: w.Detector,
+			Logf:     opts.Logf,
+			Store:    st,
+			Router:   mn.node,
+			Retrain:  retrainConfig(sc.Retrain),
+		})
+		if err != nil {
+			return fail(fmt.Sprintf("node %d server", i), err)
+		}
+		srv := mn.srv
+		if err := mn.node.Start(cluster.Hooks{
+			OnApply:    srv.ApplyReplicatedOp,
+			OnSnapshot: func(int) { srv.ReloadFromStore() },
+		}); err != nil {
+			return fail(fmt.Sprintf("start node %d", i), err)
+		}
+		if _, err := srv.StartListener(clientLns[i]); err != nil {
+			return fail(fmt.Sprintf("serve node %d", i), err)
+		}
+	}
+	c.Addr = infos[0].ClientAddr
+	c.LeaderAddr = infos[0].ClientAddr
+	return c, nil
+}
+
+// Rebalance joins the spare node into the ownership map and hands it a
+// balanced share of shards with a live handoff: seal at the old owners,
+// converge over the mesh, publish the Version+1 map. Acked writes are
+// never lost — sealed writes were never acked, and the handoff cursor
+// covers everything that was. Safe to call once; later calls are
+// no-ops. Returns the transition duration.
+func (c *Cluster) Rebalance() time.Duration {
+	var took time.Duration
+	c.rebalance.Do(func() {
+		if len(c.multi) == 0 {
+			return
+		}
+		spare := c.multi[len(c.multi)-1].node
+		start := time.Now()
+		if err := spare.Join(10 * time.Second); err != nil {
+			c.rebalanceErr = fmt.Errorf("join: %w", err)
+			took = time.Since(start)
+			return
+		}
+		// Take an equal share: the trailing slice of each standing
+		// owner's shards, leaving every node with shards/nodes.
+		m := spare.Map()
+		var want []int
+		per := m.Shards() / multiNodes
+		for owner := 0; owner < multiNodes-1; owner++ {
+			owned := m.OwnedBy(owner)
+			if give := len(owned) - per; give > 0 {
+				want = append(want, owned[len(owned)-give:]...)
+			}
+		}
+		if err := spare.AcquireShards(want, 10*time.Second); err != nil {
+			c.rebalanceErr = fmt.Errorf("acquire: %w", err)
+		}
+		took = time.Since(start)
+	})
+	return took
+}
+
 // cluster's Addr keeps serving throughout. The sequence is lossless for
 // acknowledged writes: the leader's client listener closes first (every
 // acked enroll is then in the WAL), the replication stream drains into
@@ -249,6 +407,19 @@ func (c *Cluster) Close() error {
 		}
 		if c.single != nil {
 			keep(c.single.Close())
+		}
+		for _, mn := range c.multi {
+			if mn.srv != nil {
+				keep(mn.srv.Close())
+			}
+			if mn.node != nil {
+				keep(mn.node.Close())
+			}
+		}
+		for _, mn := range c.multi {
+			if mn.st != nil {
+				keep(mn.st.Close())
+			}
 		}
 		c.mu.Lock()
 		leader, leaderSrv := c.leader, c.leaderSrv

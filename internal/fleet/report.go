@@ -79,6 +79,10 @@ type Report struct {
 	// the scenario exercised failover.
 	FailoverTookMs float64 `json:"failover_took_ms,omitempty"`
 
+	// RebalanceTookMs is the join-to-new-map transition time when the
+	// scenario rebalanced shard ownership onto a spare node mid-run.
+	RebalanceTookMs float64 `json:"rebalance_took_ms,omitempty"`
+
 	// Retrain is the server's drift-retrain subsystem state after the run,
 	// when enabled.
 	Retrain *transport.RetrainStats `json:"retrain,omitempty"`

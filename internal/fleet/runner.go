@@ -28,9 +28,10 @@ type RunOptions struct {
 	// Timeout bounds each round trip (default 30 s; raise it for heavily
 	// conditioned links).
 	Timeout time.Duration
-	// MidRun, when set together with the scenario's FailoverAt, fires
-	// exactly once when that fraction of the steady ops has completed —
-	// the hook a failover scenario kills the leader from.
+	// MidRun, when set together with the scenario's FailoverAt or
+	// RebalanceAt, fires exactly once when that fraction of the steady
+	// ops has completed — the hook a failover scenario kills the leader
+	// from, and a rebalance scenario joins the spare node from.
 	MidRun func()
 	// TrackEnrolls records the user ID of every completed enroll op on
 	// the report (acceptance tests cross-check them against the server).
@@ -280,9 +281,13 @@ func Run(sc Scenario, w *Workload, opts RunOptions) (*Report, error) {
 	logf("fleet %s: staged %d cohort users in %.1fs", sc.Name, sc.ScoredUsers, stageSeconds)
 
 	totalOps := sc.SteadyOps()
+	midRunAt := sc.FailoverAt
+	if midRunAt == 0 {
+		midRunAt = sc.RebalanceAt
+	}
 	failoverAfter := 0
-	if sc.FailoverAt > 0 && opts.MidRun != nil {
-		failoverAfter = int(sc.FailoverAt * float64(totalOps))
+	if midRunAt > 0 && opts.MidRun != nil {
+		failoverAfter = int(midRunAt * float64(totalOps))
 		if failoverAfter < 1 {
 			failoverAfter = 1
 		}

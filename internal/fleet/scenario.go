@@ -105,6 +105,12 @@ const (
 	// client traffic targets the follower, so writes bounce through
 	// redirects — the WAN-replica shape.
 	ClusterFollower = "follower"
+	// ClusterMulti is a 3-node shard-ownership cluster: every node is
+	// writable for the shards it owns and redirects the rest, with a
+	// full replication mesh keeping reads serveable anywhere. A third
+	// node starts outside the ownership map so RebalanceAt can exercise
+	// a live join-and-handoff mid-run.
+	ClusterMulti = "cluster"
 )
 
 // Scenario is one declarative load profile. The JSON form is the file
@@ -149,6 +155,11 @@ type Scenario struct {
 	// steady-phase ops has completed and promotes the follower. Only
 	// meaningful with the follower topology.
 	FailoverAt float64 `json:"failover_at,omitempty"`
+	// RebalanceAt, in (0,1), joins the spare node into the ownership map
+	// when that fraction of the steady-phase ops has completed and hands
+	// it a balanced share of shards with a live handoff. Only meaningful
+	// with the multi-node cluster topology.
+	RebalanceAt float64 `json:"rebalance_at,omitempty"`
 	// DriftDays spreads the genuine authentication windows over this many
 	// days of behavioural drift; traffic presents them in day order, so
 	// the fleet's behaviour decays as the run progresses.
@@ -234,7 +245,7 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("fleet: scenario %s: mimic fidelity %g outside [0,1]", s.Name, s.MimicFidelity)
 	}
 	switch s.Cluster {
-	case "", ClusterSingle, ClusterFollower:
+	case "", ClusterSingle, ClusterFollower, ClusterMulti:
 	default:
 		return fmt.Errorf("fleet: scenario %s: unknown cluster topology %q", s.Name, s.Cluster)
 	}
@@ -243,6 +254,12 @@ func (s Scenario) Validate() error {
 	}
 	if s.FailoverAt > 0 && s.Cluster != ClusterFollower {
 		return fmt.Errorf("fleet: scenario %s: failover_at needs the follower topology", s.Name)
+	}
+	if s.RebalanceAt != 0 && (s.RebalanceAt <= 0 || s.RebalanceAt >= 1) {
+		return fmt.Errorf("fleet: scenario %s: rebalance_at %g outside (0,1)", s.Name, s.RebalanceAt)
+	}
+	if s.RebalanceAt > 0 && s.Cluster != ClusterMulti {
+		return fmt.Errorf("fleet: scenario %s: rebalance_at needs the cluster topology", s.Name)
 	}
 	if err := s.Network.Validate(); err != nil {
 		return fmt.Errorf("fleet: scenario %s: %w", s.Name, err)

@@ -199,6 +199,49 @@ func (m *Matrix) MulVec(v []float64) ([]float64, error) {
 	return out, nil
 }
 
+// MulVecInto computes m * v into dst, which must have length m.Rows().
+// This is the allocation-free form of MulVec for hot paths that reuse a
+// buffer (the Sherman-Morrison update applies it twice per sample).
+// dst must not alias v.
+func (m *Matrix) MulVecInto(dst, v []float64) error {
+	if m.cols != len(v) {
+		return fmt.Errorf("%w: mulvec %dx%d with vector of length %d", ErrDimensionMismatch, m.rows, m.cols, len(v))
+	}
+	if len(dst) != m.rows {
+		return fmt.Errorf("%w: mulvec destination length %d, want %d", ErrDimensionMismatch, len(dst), m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * v[j]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// SubOuterScaled applies m -= scale * u * u^T in place for square m; the
+// fused symmetric rank-1 downdate at the heart of Sherman-Morrison. It
+// walks the backing array directly instead of going through At/Set, which
+// is what keeps the O(M^2) incremental-KRR update cheap in practice.
+func (m *Matrix) SubOuterScaled(u []float64, scale float64) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("%w: SubOuterScaled on %dx%d matrix", ErrDimensionMismatch, m.rows, m.cols)
+	}
+	if len(u) != m.rows {
+		return fmt.Errorf("%w: SubOuterScaled vector length %d, want %d", ErrDimensionMismatch, len(u), m.rows)
+	}
+	for i, ui := range u {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		s := scale * ui
+		for j, uj := range u {
+			row[j] -= s * uj
+		}
+	}
+	return nil
+}
+
 // Gram returns m^T * m (the Gram matrix of the columns of m), exploiting
 // symmetry to halve the work.
 func (m *Matrix) Gram() *Matrix {

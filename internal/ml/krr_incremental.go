@@ -27,7 +27,13 @@ type IncrementalKRR struct {
 	n   int
 	inv *linalg.Matrix // (S + rho*I)^{-1}
 	b   []float64      // X y
-	w   []float64      // current weights, inv * b
+	w   []float64      // current weights, inv * b (valid iff !wStale)
+	u   []float64      // scratch for the Sherman-Morrison vector A^{-1} x
+	// wStale defers the O(M^2) weight solve until a weight-consuming call
+	// (Score/Predict/Weights): a refresh that streams hundreds of
+	// AddSamples before its first Score pays for one solve, not one per
+	// sample — a third of the per-sample flops.
+	wStale bool
 }
 
 var _ BinaryClassifier = (*IncrementalKRR)(nil)
@@ -47,6 +53,7 @@ func NewIncrementalKRR(rho float64, dim int) (*IncrementalKRR, error) {
 		inv: linalg.Identity(dim).Scale(1 / rho),
 		b:   make([]float64, dim),
 		w:   make([]float64, dim),
+		u:   make([]float64, dim),
 	}
 	return k, nil
 }
@@ -87,7 +94,7 @@ func (k *IncrementalKRR) AddSample(x []float64, label bool) error {
 		k.b[j] += target * v
 	}
 	k.n++
-	k.refreshWeights()
+	k.wStale = true
 	return nil
 }
 
@@ -109,18 +116,17 @@ func (k *IncrementalKRR) RemoveSample(x []float64, label bool) error {
 		k.b[j] -= target * v
 	}
 	k.n--
-	k.refreshWeights()
+	k.wStale = true
 	return nil
 }
 
 // rankOneUpdate applies Sherman-Morrison for S <- S + sign * x x^T.
 func (k *IncrementalKRR) rankOneUpdate(x []float64, sign float64) error {
-	// u = A^{-1} x.
-	u, err := k.inv.MulVec(x)
-	if err != nil {
+	// u = A^{-1} x, into the reusable scratch vector.
+	if err := k.inv.MulVecInto(k.u, x); err != nil {
 		return err
 	}
-	xu, err := linalg.Dot(x, u)
+	xu, err := linalg.Dot(x, k.u)
 	if err != nil {
 		return err
 	}
@@ -130,22 +136,19 @@ func (k *IncrementalKRR) rankOneUpdate(x []float64, sign float64) error {
 		// the downdate would make the matrix indefinite.
 		return fmt.Errorf("%w: rank-one downdate is infeasible (denominator %g)", ErrBadTrainingSet, denom)
 	}
-	scale := sign / denom
-	for i := 0; i < k.dim; i++ {
-		for j := 0; j < k.dim; j++ {
-			k.inv.Set(i, j, k.inv.At(i, j)-scale*u[i]*u[j])
-		}
-	}
-	return nil
+	return k.inv.SubOuterScaled(k.u, sign/denom)
 }
 
-// refreshWeights recomputes w = (S + rho I)^{-1} b in O(M^2).
+// refreshWeights recomputes w = (S + rho I)^{-1} b in O(M^2) if any
+// update landed since the last weight-consuming call.
 func (k *IncrementalKRR) refreshWeights() {
-	w, err := k.inv.MulVec(k.b)
-	if err != nil {
+	if !k.wStale {
+		return
+	}
+	if err := k.inv.MulVecInto(k.w, k.b); err != nil {
 		return // cannot happen: shapes are fixed at construction
 	}
-	k.w = w
+	k.wStale = false
 }
 
 // Score implements BinaryClassifier.
@@ -156,6 +159,7 @@ func (k *IncrementalKRR) Score(x []float64) (float64, error) {
 	if len(x) != k.dim {
 		return 0, fmt.Errorf("%w: feature length %d, model expects %d", ErrBadTrainingSet, len(x), k.dim)
 	}
+	k.refreshWeights()
 	return linalg.Dot(k.w, x)
 }
 
@@ -173,5 +177,6 @@ func (k *IncrementalKRR) N() int { return k.n }
 
 // Weights returns a copy of the current primal weight vector.
 func (k *IncrementalKRR) Weights() []float64 {
+	k.refreshWeights()
 	return append([]float64(nil), k.w...)
 }

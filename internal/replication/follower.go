@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
@@ -183,11 +184,17 @@ func (f *Follower) session() (err error) {
 
 	st := f.cfg.Store
 	cursors := st.ShardLastSeqs()
+	// Buffer both directions: record frames arrive many to a segment
+	// from the leader's batched writer, and acks are flushed only when
+	// the read side goes idle, so a burst of applies costs one ack
+	// syscall instead of one per record.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
 	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
 	if err := writeWireFrame(conn, encodeHello(helloFrame{version: 1, seqs: cursors}, f.cfg.Key)); err != nil {
 		return fmt.Errorf("send hello: %w", err)
 	}
-	payload, err := readWireFrame(conn)
+	payload, err := readWireFrame(br)
 	if err != nil {
 		return fmt.Errorf("read welcome: %w", err)
 	}
@@ -218,7 +225,16 @@ func (f *Follower) session() (err error) {
 	// Partial snapshot bytes per shard while chunks stream in.
 	pending := make(map[int][]byte)
 	for {
-		payload, err := readWireFrame(conn)
+		// Flush pending acks only when about to block: the leader never
+		// waits on acks (they feed lag accounting), so holding them while
+		// buffered frames remain is free, and an idle stream still acks
+		// promptly.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return fmt.Errorf("flush acks: %w", err)
+			}
+		}
+		payload, err := readWireFrame(br)
 		if err != nil {
 			return fmt.Errorf("read frame: %w", err)
 		}
@@ -243,7 +259,7 @@ func (f *Follower) session() (err error) {
 			}
 			// Ack the durable cursor either way: a duplicate means the
 			// leader replayed overlap we already hold.
-			if err := writeWireFrame(conn, encodeAck(ackFrame{shard: rf.shard, seq: cursors[rf.shard]})); err != nil {
+			if err := writeWireFrame(bw, encodeAck(ackFrame{shard: rf.shard, seq: cursors[rf.shard]})); err != nil {
 				return fmt.Errorf("send ack: %w", err)
 			}
 		case frameSnapshot:
@@ -270,7 +286,7 @@ func (f *Follower) session() (err error) {
 			if f.cfg.OnSnapshot != nil {
 				f.cfg.OnSnapshot(chunk.shard)
 			}
-			if err := writeWireFrame(conn, encodeAck(ackFrame{shard: chunk.shard, seq: lastSeq})); err != nil {
+			if err := writeWireFrame(bw, encodeAck(ackFrame{shard: chunk.shard, seq: lastSeq})); err != nil {
 				return fmt.Errorf("send ack: %w", err)
 			}
 		case frameError:

@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -25,16 +26,29 @@ type LeaderConfig struct {
 	// 8192); a follower that falls further behind than the queue holds
 	// is disconnected and catches up on reconnect.
 	QueueDepth int
+	// ShardFilter, when set, restricts what this leader streams: only
+	// records and backlog for shards the filter accepts are sent. In a
+	// full-mesh cluster every node is a leader and every record would
+	// otherwise be re-forwarded by each peer that applied it — n·(n-1)
+	// frames per write instead of n-1. Filtering to owned shards keeps
+	// exactly one forwarder per record (its owner, which has the shard's
+	// full history). The filter is consulted per record, so ownership
+	// changes take effect live; followers that lose an in-flight range to
+	// a filter flip see a sequence gap, reconnect, and catch up from the
+	// new owner's backlog. Nil forwards everything (single-leader
+	// topology).
+	ShardFilter func(shard int) bool
 }
 
 // Leader streams the store's WAL to connected followers. Create with
 // NewLeader, start with Serve, stop with Close.
 type Leader struct {
-	st    *store.Store
-	key   []byte
-	adv   string
-	logf  func(format string, args ...any)
-	depth int
+	st     *store.Store
+	key    []byte
+	adv    string
+	logf   func(format string, args ...any)
+	depth  int
+	filter func(shard int) bool
 
 	mu    sync.Mutex
 	conns map[*leaderConn]struct{}
@@ -109,6 +123,7 @@ func NewLeader(cfg LeaderConfig) (*Leader, error) {
 		adv:    cfg.AdvertiseAddr,
 		logf:   logf,
 		depth:  depth,
+		filter: cfg.ShardFilter,
 		conns:  make(map[*leaderConn]struct{}),
 		closed: make(chan struct{}),
 	}, nil
@@ -121,6 +136,13 @@ func (l *Leader) Serve(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replication: listen: %w", err)
 	}
+	return l.ServeListener(ln)
+}
+
+// ServeListener is Serve over an already-bound listener — cluster
+// bring-up binds every port first so the shard map can carry final
+// addresses before any node starts.
+func (l *Leader) ServeListener(ln net.Listener) (net.Addr, error) {
 	l.ln = ln
 	l.wg.Add(1)
 	go func() {
@@ -222,11 +244,26 @@ func (l *Leader) handle(conn net.Conn) {
 	// Subscribe before reading cursors: anything appended from here on
 	// is queued, so the disk catch-up below plus the queue covers the
 	// whole log with overlap (deduplicated by sequence number), never a
-	// gap.
-	cancel := l.st.SubscribeReplication(fc.push)
+	// gap. The shard filter drops rejected records at the queue door —
+	// consulted per record, so an ownership change takes effect on the
+	// very next append.
+	sink := fc.push
+	if l.filter != nil {
+		sink = func(shard int, seq uint64, payload []byte) {
+			if l.filter(shard) {
+				fc.push(shard, seq, payload)
+			}
+		}
+	}
+	cancel := l.st.SubscribeReplication(sink)
 	defer cancel()
 
-	if err := writeWireFrame(conn, encodeWelcome(welcomeFrame{
+	// All writes to this follower (welcome, backlog, snapshots, live
+	// tail) happen from this goroutine, buffered: under load many small
+	// record frames coalesce into one segment, and the stream loop
+	// flushes whenever its queue goes momentarily idle.
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := writeWireFrame(bw, encodeWelcome(welcomeFrame{
 		version:    1,
 		clientAddr: l.adv,
 		seqs:       l.st.ShardLastSeqs(),
@@ -234,12 +271,19 @@ func (l *Leader) handle(conn net.Conn) {
 		l.logf("replication %s: write welcome: %v", remote, err)
 		return
 	}
+	if err := bw.Flush(); err != nil {
+		l.logf("replication %s: write welcome: %v", remote, err)
+		return
+	}
 
-	// Reader side: acknowledgements drive the lag accounting.
+	// Reader side: acknowledgements drive the lag accounting. Buffered —
+	// followers coalesce acks under load, so several often arrive in one
+	// segment.
 	go func() {
 		defer fc.markDead()
+		br := bufio.NewReaderSize(conn, 16<<10)
 		for {
-			payload, err := readWireFrame(conn)
+			payload, err := readWireFrame(br)
 			if err != nil {
 				return
 			}
@@ -257,25 +301,33 @@ func (l *Leader) handle(conn net.Conn) {
 	}()
 
 	sent := append([]uint64(nil), hello.seqs...)
-	if err := l.catchUp(fc, sent); err != nil {
+	if err := l.catchUp(fc, bw, sent); err != nil {
+		l.logf("replication %s: catch-up: %v", remote, err)
+		fc.markDead()
+		return
+	}
+	if err := bw.Flush(); err != nil {
 		l.logf("replication %s: catch-up: %v", remote, err)
 		fc.markDead()
 		return
 	}
 	l.logf("replication %s: follower caught up to %v, tailing", remote, sent)
-	l.stream(fc, sent)
+	l.stream(fc, bw, sent)
 }
 
 // catchUp brings one follower to the leader's durable state per shard:
 // log records when they are still on disk, a streamed snapshot when they
 // were compacted away. sent is updated to the cursor reached per shard.
-func (l *Leader) catchUp(fc *leaderConn, sent []uint64) error {
+func (l *Leader) catchUp(fc *leaderConn, bw *bufio.Writer, sent []uint64) error {
 	for shard := range sent {
+		if l.filter != nil && !l.filter(shard) {
+			continue // not this leader's shard; its owner serves the backlog
+		}
 		for attempt := 0; ; attempt++ {
 			recs, err := l.st.ShardRecordsSince(shard, sent[shard])
 			if err == nil {
 				for _, r := range recs {
-					if err := writeWireFrame(fc.conn, encodeRecordFrame(recordFrame{shard: shard, payload: r.Payload})); err != nil {
+					if err := writeWireFrame(bw, encodeRecordFrame(recordFrame{shard: shard, payload: r.Payload})); err != nil {
 						return err
 					}
 					sent[shard] = r.Seq
@@ -295,7 +347,7 @@ func (l *Leader) catchUp(fc *leaderConn, sent []uint64) error {
 			if lastSeq <= sent[shard] {
 				return fmt.Errorf("replication: shard %d snapshot at %d does not cover cursor %d", shard, lastSeq, sent[shard])
 			}
-			if err := l.sendSnapshot(fc, shard, lastSeq, data); err != nil {
+			if err := l.sendSnapshot(bw, shard, lastSeq, data); err != nil {
 				return err
 			}
 			sent[shard] = lastSeq
@@ -305,7 +357,7 @@ func (l *Leader) catchUp(fc *leaderConn, sent []uint64) error {
 }
 
 // sendSnapshot streams one shard snapshot in bounded chunks.
-func (l *Leader) sendSnapshot(fc *leaderConn, shard int, lastSeq uint64, data []byte) error {
+func (l *Leader) sendSnapshot(bw *bufio.Writer, shard int, lastSeq uint64, data []byte) error {
 	for off := 0; ; off += snapshotChunkBytes {
 		end := off + snapshotChunkBytes
 		last := end >= len(data)
@@ -316,7 +368,7 @@ func (l *Leader) sendSnapshot(fc *leaderConn, shard int, lastSeq uint64, data []
 		if last {
 			chunk.lastSeq = lastSeq
 		}
-		if err := writeWireFrame(fc.conn, encodeSnapshotChunk(chunk)); err != nil {
+		if err := writeWireFrame(bw, encodeSnapshotChunk(chunk)); err != nil {
 			return err
 		}
 		if last {
@@ -327,19 +379,43 @@ func (l *Leader) sendSnapshot(fc *leaderConn, shard int, lastSeq uint64, data []
 
 // stream forwards live records until the connection dies or the leader
 // closes. Records at or below the already-sent cursor (duplicates from
-// the catch-up overlap) are skipped.
-func (l *Leader) stream(fc *leaderConn, sent []uint64) {
+// the catch-up overlap) are skipped. Each wakeup drains everything the
+// queue already holds into the buffered writer and flushes once — under
+// load dozens of records ride one syscall, while an isolated record
+// still goes out immediately.
+func (l *Leader) stream(fc *leaderConn, bw *bufio.Writer, sent []uint64) {
+	send := func(r outRec) bool {
+		if r.seq <= sent[r.shard] {
+			return true
+		}
+		if err := writeWireFrame(bw, encodeRecordFrame(recordFrame{shard: r.shard, payload: r.payload})); err != nil {
+			return false
+		}
+		sent[r.shard] = r.seq
+		return true
+	}
 	for {
 		select {
 		case r := <-fc.out:
-			if r.seq <= sent[r.shard] {
-				continue
-			}
-			if err := writeWireFrame(fc.conn, encodeRecordFrame(recordFrame{shard: r.shard, payload: r.payload})); err != nil {
+			if !send(r) {
 				fc.markDead()
 				return
 			}
-			sent[r.shard] = r.seq
+			for drained := false; !drained; {
+				select {
+				case r := <-fc.out:
+					if !send(r) {
+						fc.markDead()
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				fc.markDead()
+				return
+			}
 		case <-fc.dead:
 			return
 		case <-l.closed:

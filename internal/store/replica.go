@@ -41,6 +41,10 @@ var (
 	// shard's next expected sequence number — records were lost in
 	// transit and the stream must restart from the durable cursor.
 	ErrSequenceGap = errors.New("store: replicated record out of sequence")
+	// ErrSealed indicates a local mutation hit a shard frozen for a
+	// cluster handoff; the caller should back off briefly and retry (the
+	// new owner finishes taking over within the seal window).
+	ErrSealed = errors.New("store: shard is sealed for handoff")
 )
 
 // Exported WAL operation names, as they appear in ReplicatedOp.Op.
@@ -127,6 +131,62 @@ func (s *Store) notifyRepl(shard int, seq uint64, payload []byte) {
 		sink(shard, seq, payload)
 	}
 	s.replMu.RUnlock()
+}
+
+// SealShard freezes local mutations (enroll, publish) on one shard and
+// returns its last durable sequence number — the handoff cursor. The
+// flag and the cursor read are atomic under the shard lock, so no local
+// write can land after the returned cursor: once the new owner has
+// converged to it, the sequence space transfers with no concurrent
+// writer. Replicated applies are exempt (they carry owner-assigned
+// sequence numbers). Sealing an already-sealed shard just re-reads the
+// cursor.
+func (s *Store) SealShard(shard int) (uint64, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return 0, ErrClosed
+	}
+	sh.sealed = true
+	return sh.nextSeq - 1, nil
+}
+
+// SyncShard fsyncs one shard's WAL. Under Options.ReplicaNoSync this is
+// the durability barrier a replica must pass before becoming a shard's
+// owner: after it returns, every record the shard has applied — local or
+// replicated — is on disk, so the new owner's "acknowledged means
+// durable" guarantee starts from a clean base.
+func (s *Store) SyncShard(shard int) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.closed {
+		return ErrClosed
+	}
+	if err := sh.wal.Sync(); err != nil {
+		return fmt.Errorf("store: sync shard %d wal: %w", shard, err)
+	}
+	return nil
+}
+
+// UnsealShard lifts a handoff freeze (an aborted handoff, or the old
+// owner unfreezing after ownership moved — at which point routing, not
+// the seal, keeps local writes away).
+func (s *Store) UnsealShard(shard int) {
+	if shard < 0 || shard >= len(s.shards) {
+		return
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	sh.sealed = false
+	sh.mu.Unlock()
 }
 
 // ShardRecordsSince returns the shard's intact on-disk records with
@@ -272,7 +332,7 @@ func (s *shard) applyReplicated(idx int, payload []byte) (ReplicatedOp, bool, er
 		_, _ = s.wal.Seek(s.walBytes, io.SeekStart)
 		return ReplicatedOp{}, false, fmt.Errorf("store: append replicated record: %w", err)
 	}
-	if !s.opt.NoSync {
+	if !s.opt.NoSync && !s.opt.ReplicaNoSync {
 		if err := s.wal.Sync(); err != nil {
 			return ReplicatedOp{}, false, fmt.Errorf("store: sync wal: %w", err)
 		}

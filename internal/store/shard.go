@@ -79,6 +79,10 @@ type shard struct {
 	recovery      Recovery
 	closed        bool
 	closing       bool
+	// sealed freezes local mutations (enroll, publish) during a cluster
+	// shard handoff; replicated applies still land, since the new owner's
+	// records must keep flowing into this replica after the transfer.
+	sealed bool
 
 	pending      *compactJob // coalesced queue of depth one
 	orphanSealed []string    // sealed segments awaiting the next snapshot
@@ -311,6 +315,9 @@ func (s *shard) enroll(user string, samples []features.WindowSample, replace boo
 	if s.closed {
 		return ErrClosed
 	}
+	if s.sealed {
+		return ErrSealed
+	}
 	op := opEnroll
 	if replace {
 		op = opReplace
@@ -333,6 +340,9 @@ func (s *shard) publishModel(user string, blob []byte) (int, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, ErrClosed
+	}
+	if s.sealed {
+		return 0, ErrSealed
 	}
 	version := 1
 	if vs := s.models[user]; len(vs) > 0 {

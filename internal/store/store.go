@@ -80,6 +80,15 @@ type Options struct {
 	// durability: a crash may lose recent acknowledged writes, but the log
 	// stays recoverable. Intended for tests and bulk loads.
 	NoSync bool
+	// ReplicaNoSync skips the per-record fsync in ApplyReplicated only —
+	// local mutations still sync. Safe whenever every replicated record's
+	// source (the shard's owner, which synced before acknowledging)
+	// retains it and replays by sequence number on reconnect: a crash
+	// here loses at most an unsynced tail that the next replication
+	// session re-sends. Anything that turns this replica into an owner
+	// (cluster handoff, follower promotion) must call SyncShard first to
+	// restore the owner's durability guarantee.
+	ReplicaNoSync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -344,8 +353,12 @@ func writeMeta(dir string, m storeMeta) error {
 	return nil
 }
 
-// shardIndex routes a user id to a shard by FNV-1a hash.
-func shardIndex(user string, count int) int {
+// ShardIndex routes a user id to a shard by FNV-1a hash. It is exported
+// because it is the cluster's stable routing key: clients and the
+// shard-ownership layer compute it on the (already anonymized) user id to
+// decide which node owns the write, and it must agree byte-for-byte with
+// the store's own placement.
+func ShardIndex(user string, count int) int {
 	if count <= 1 {
 		return 0
 	}
@@ -353,6 +366,8 @@ func shardIndex(user string, count int) int {
 	_, _ = h.Write([]byte(user))
 	return int(h.Sum64() % uint64(count))
 }
+
+func shardIndex(user string, count int) int { return ShardIndex(user, count) }
 
 func (s *Store) shardFor(user string) *shard {
 	return s.shards[shardIndex(user, len(s.shards))]
@@ -393,6 +408,13 @@ const (
 	// driftStateKey holds the retrain monitor's serialized per-user drift
 	// state — a rolling checkpoint, retained at only its latest version.
 	driftStateKey = "\x00drift-state"
+
+	// DetectorKey and DriftStateKey are the exported names of the reserved
+	// identifiers above. A cluster routes them like any other key — they
+	// hash to exactly one shard, so only that shard's owner may publish
+	// them — which is why the owning layer needs their names.
+	DetectorKey   = detectorKey
+	DriftStateKey = driftStateKey
 )
 
 // IsReservedKey reports whether a registry identifier is server-internal

@@ -3,7 +3,10 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
+	"syscall"
 	"time"
 
 	"smarteryou/internal/core"
@@ -20,6 +23,62 @@ type Client struct {
 	dial    DialFunc
 	retry   busyPolicy
 	format  byte
+	pool    connPool
+	// route, when non-nil, caches the cluster shard map and steers write
+	// requests straight to the owning node.
+	route *routeState
+}
+
+// connPool caches idle connections per server address. The server holds
+// a connection open across requests (serveConn loops), so a round trip
+// normally reuses a warm connection instead of paying a TCP
+// connect/teardown — which otherwise dominates small-request CPU.
+type connPool struct {
+	mu   sync.Mutex
+	idle map[string][]net.Conn
+}
+
+// poolMaxIdlePerAddr bounds cached connections per address; a burst
+// beyond it just closes the extras on return.
+const poolMaxIdlePerAddr = 32
+
+func (p *connPool) get(addr string) net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	conn := conns[len(conns)-1]
+	p.idle[addr] = conns[:len(conns)-1]
+	return conn
+}
+
+func (p *connPool) put(addr string, conn net.Conn) {
+	p.mu.Lock()
+	if len(p.idle[addr]) >= poolMaxIdlePerAddr {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if p.idle == nil {
+		p.idle = make(map[string][]net.Conn)
+	}
+	p.idle[addr] = append(p.idle[addr], conn)
+	p.mu.Unlock()
+}
+
+// drain closes every cached connection.
+func (p *connPool) drain() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, conns := range idle {
+		for _, conn := range conns {
+			_ = conn.Close()
+		}
+	}
 }
 
 // DialFunc establishes one client connection within timeout. Overriding
@@ -55,6 +114,13 @@ type ClientConfig struct {
 	// throughput for debuggability (or compatibility with a pre-v2
 	// server, which would reject binary frames).
 	JSONv1 bool
+	// RouteByShard makes the client fetch and cache the cluster's
+	// versioned shard map (from Addr) and send each write straight to the
+	// node that owns the user's shard, refreshing the map when a redirect
+	// reveals it is stale. Reads still go to Addr. Leave unset against a
+	// single server or a leader/follower pair — their redirects carry the
+	// leader address and need no map.
+	RouteByShard bool
 }
 
 // busyPolicy is the capped-exponential backoff applied to busy responses.
@@ -97,14 +163,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.JSONv1 {
 		format = wireFormatJSON
 	}
-	return &Client{
+	c := &Client{
 		addr:    cfg.Addr,
 		key:     cfg.Key,
 		timeout: timeout,
 		dial:    dial,
 		retry:   newBusyPolicy(cfg.BusyRetries, cfg.MaxBusyBackoff),
 		format:  format,
-	}, nil
+	}
+	if cfg.RouteByShard {
+		c.route = &routeState{}
+	}
+	return c, nil
 }
 
 // run executes do and, when the server answers busy (a saturated training
@@ -132,18 +202,86 @@ func (p busyPolicy) run(do func() error) error {
 // response payload into out. Use NewSession to reuse a connection across
 // multiple round trips.
 func (c *Client) roundTrip(reqType string, payload any, out any) error {
-	conn, err := c.dial("tcp", c.addr, c.timeout)
-	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	return c.roundTripTo(c.addr, reqType, payload, out)
+}
+
+// roundTripTo is roundTrip against an explicit server address — the
+// shard-routed write path picks the owner per request. It reuses a
+// pooled connection when one is available; a pooled connection that
+// turns out dead (the server restarted or closed it while idle) is
+// discarded and the request runs once more on a fresh dial.
+func (c *Client) roundTripTo(addr, reqType string, payload any, out any) error {
+	if conn := c.pool.get(addr); conn != nil {
+		err := doRequest(conn, c.key, c.format, c.timeout, reqType, payload, out)
+		if err == nil || isResponseError(err) {
+			c.pool.put(addr, conn)
+			return err
+		}
+		_ = conn.Close()
+		if !isStaleConnError(err) {
+			return err
+		}
 	}
-	defer func() { _ = conn.Close() }()
-	return doRequest(conn, c.key, c.format, c.timeout, reqType, payload, out)
+	conn, err := c.dial("tcp", addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if err := doRequest(conn, c.key, c.format, c.timeout, reqType, payload, out); err != nil {
+		if isResponseError(err) {
+			c.pool.put(addr, conn)
+		} else {
+			_ = conn.Close()
+		}
+		return err
+	}
+	c.pool.put(addr, conn)
+	return nil
+}
+
+// isResponseError reports whether err was carried in a well-formed
+// server response (busy, redirect, remote failure) — the connection
+// itself completed a round trip and stays good for reuse.
+func isResponseError(err error) bool {
+	var remote *RemoteError
+	var busy *BusyError
+	var redirect *RedirectError
+	return errors.As(err, &busy) || errors.As(err, &redirect) || errors.As(err, &remote)
+}
+
+// isStaleConnError reports whether a round-trip failure looks like a
+// pooled connection that died while idle — the one case worth one retry
+// on a fresh dial. Protocol-level errors (busy, redirect, server error,
+// bad frames) mean the connection worked and must surface as-is.
+func isStaleConnError(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// Close releases the client's pooled connections. The client stays
+// usable — later requests dial fresh — so Close is an idle-resource
+// release, not a shutdown.
+func (c *Client) Close() error {
+	c.pool.drain()
+	return nil
+}
+
+// asRedirect unwraps a RedirectError.
+func asRedirect(err error) (*RedirectError, bool) {
+	var re *RedirectError
+	if errors.As(err, &re) {
+		return re, true
+	}
+	return nil, false
 }
 
 // Enroll uploads feature windows collected during the enrollment phase.
+// Against a cluster (RouteByShard) the upload goes straight to the node
+// owning the user's shard; a write caught in a shard handoff backs off
+// briefly and retries against the new owner.
 func (c *Client) Enroll(userID string, samples []features.WindowSample) (stored int, err error) {
 	var resp enrollResponse
-	err = c.roundTrip(TypeEnroll, enrollRequest{UserID: userID, Samples: samples}, &resp)
+	err = c.routedWrite(userID, TypeEnroll, enrollRequest{UserID: userID, Samples: samples}, &resp)
 	return resp.Stored, err
 }
 
@@ -151,7 +289,7 @@ func (c *Client) Enroll(userID string, samples []features.WindowSample) (stored 
 // stale windows — the retraining upload of Section V-I.
 func (c *Client) ReplaceEnrollment(userID string, samples []features.WindowSample) (stored int, err error) {
 	var resp enrollResponse
-	err = c.roundTrip(TypeEnroll, enrollRequest{UserID: userID, Replace: true, Samples: samples}, &resp)
+	err = c.routedWrite(userID, TypeEnroll, enrollRequest{UserID: userID, Replace: true, Samples: samples}, &resp)
 	return resp.Stored, err
 }
 
@@ -195,9 +333,7 @@ func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle
 		Seed:        p.Seed,
 	}
 	var resp trainResponse
-	err := c.retry.run(func() error {
-		return c.roundTrip(TypeTrain, req, &resp)
-	})
+	err := c.routedWrite(userID, TypeTrain, req, &resp)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -281,10 +417,31 @@ func (c *Client) AuthenticateBatch(userID string, samples []features.WindowSampl
 // hint.
 func (c *Client) RequestRetrain(userID string) (queued bool, reason string, err error) {
 	var resp retrainResponse
-	err = c.retry.run(func() error {
-		return c.roundTrip(TypeRetrain, retrainRequest{UserID: userID}, &resp)
-	})
+	err = c.routedWrite(userID, TypeRetrain, retrainRequest{UserID: userID}, &resp)
 	return resp.Queued, resp.Reason, err
+}
+
+// DriftStates fetches the server's most-drifted users: per-user
+// confidence EWMA and last-train age, ascending EWMA (closest to the
+// retrain trigger first), at most limit entries (0 means the server
+// default of 100). Requires the server's retrain subsystem.
+func (c *Client) DriftStates(limit int) ([]DriftStateEntry, error) {
+	var resp driftStateResponse
+	err := c.roundTrip(TypeDriftState, driftStateRequest{Limit: limit}, &resp)
+	return resp.States, err
+}
+
+// DriftState fetches one user's drift-monitor state; ok is false when
+// the server has not observed the user since its last (re)train.
+func (c *Client) DriftState(userID string) (state DriftStateEntry, ok bool, err error) {
+	var resp driftStateResponse
+	if err := c.roundTrip(TypeDriftState, driftStateRequest{UserID: userID}, &resp); err != nil {
+		return DriftStateEntry{}, false, err
+	}
+	if len(resp.States) == 0 {
+		return DriftStateEntry{}, false, nil
+	}
+	return resp.States[0], true, nil
 }
 
 // Stats fetches the server's population-store summary.

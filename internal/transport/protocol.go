@@ -62,6 +62,15 @@ const (
 	// queue (never a direct train). Requires the server to run with the
 	// retrain subsystem enabled; followers redirect it to the leader.
 	TypeRetrain = "retrain"
+	// TypeShardMap asks a cluster node for the current versioned shard map
+	// (shard index → owning node's client address) so the client can route
+	// writes straight to owners. Fails on servers that are not part of a
+	// cluster.
+	TypeShardMap = "shard-map"
+	// TypeDriftState asks the server for per-user drift-monitor state —
+	// confidence EWMA and last-train age — either for one user or the most
+	// drifted slice of the population. Requires the retrain subsystem.
+	TypeDriftState = "drift-state"
 	// TypeOK is a generic success response.
 	TypeOK = "ok"
 	// TypeBusy reports that the server's training queue (or the retrain

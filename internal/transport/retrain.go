@@ -10,17 +10,48 @@ package transport
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"smarteryou/internal/core"
 	"smarteryou/internal/features"
 	"smarteryou/internal/retrain"
+	"smarteryou/internal/store"
 )
 
 // retrainRequest nudges the scheduler to consider one user now.
 type retrainRequest struct {
 	UserID string `json:"user_id"`
+}
+
+// driftStateRequest asks for drift-monitor state: one user's (UserID
+// set), or the most-drifted slice of the population (UserID empty,
+// Limit entries, ascending EWMA — lowest confidence first).
+type driftStateRequest struct {
+	UserID string `json:"user_id,omitempty"`
+	Limit  int    `json:"limit,omitempty"`
+}
+
+// DriftStateEntry is one user's drift-monitor state as served to
+// clients: the confidence EWMA the retrain trigger watches and how stale
+// the serving model is.
+type DriftStateEntry struct {
+	// User is the anonymized pseudonym (clients asking for a specific
+	// user get their own pseudonym back).
+	User string `json:"user"`
+	// EWMA is the smoothed confidence score; drift pushes it down toward
+	// the retrain threshold.
+	EWMA float64 `json:"ewma"`
+	// Windows counts authenticated windows since the last (re)train.
+	Windows uint64 `json:"windows"`
+	// LastTrainAgeSeconds is how long ago the user's model was trained.
+	LastTrainAgeSeconds float64 `json:"last_train_age_seconds"`
+}
+
+// driftStateResponse carries the requested drift states.
+type driftStateResponse struct {
+	States []DriftStateEntry `json:"states,omitempty"`
 }
 
 // retrainResponse reports what the scheduler did with the nudge.
@@ -82,8 +113,25 @@ type driftLoop struct {
 // startDrift builds the drift monitor + scheduler. Called from NewServer
 // after the training pool exists; restores any persisted drift state so
 // a restart does not reset accumulated drift.
+//
+// On a cluster node the configured Budget is the *cluster-wide* retrain
+// concurrency: each node takes the slice proportional to the shards it
+// owns (minimum 1), so N nodes together still run at most ~Budget
+// scheduled retrains, instead of N×Budget. The slice is derived from
+// ownership at startup; a rebalance re-partitions it on the next server
+// restart, not live (the scheduler's budget is its goroutine count).
 func (s *Server) startDrift(cfg retrain.Config) {
 	d := &driftLoop{cfg: cfg.WithDefaults()}
+	if s.router != nil {
+		if owned, total := s.router.OwnedShards(); total > 0 {
+			scaled := d.cfg.Budget * owned / total
+			if scaled < 1 {
+				scaled = 1
+			}
+			s.logf("retrain budget partitioned: %d of %d (own %d/%d shards)", scaled, d.cfg.Budget, owned, total)
+			d.cfg.Budget = scaled
+		}
+	}
 	d.monitor = retrain.NewMonitor(d.cfg)
 	if s.persist != nil {
 		if blob, err := s.persist.LatestDriftState(); err == nil {
@@ -126,7 +174,18 @@ func (s *Server) observeDrift(anon string, score float64, accepted bool) {
 	}
 	cand, fire := d.monitor.Observe(anon, score, accepted, time.Now())
 	if fire {
-		if s.follower.Load() {
+		// Only the user's write owner schedules the retrain: any cluster
+		// node serves authenticates for any user (reads hit the full
+		// replicated population), but a retrain publishes a model into the
+		// user's shard, which only the owner may write. The owner sees the
+		// same drift through its own traffic; candidates observed here are
+		// counted as deferred, like on a replication follower.
+		owned := true
+		if s.router != nil {
+			decision, _ := s.router.RouteWrite(anon)
+			owned = decision == RouteLocal
+		}
+		if s.follower.Load() || !owned {
 			d.deferred.Add(1)
 		} else {
 			d.sched.Offer(cand)
@@ -146,11 +205,20 @@ func (s *Server) observeDrift(anon string, score float64, accepted bool) {
 	}
 }
 
-// flushDriftState checkpoints the monitor into the store registry.
+// flushDriftState checkpoints the monitor into the store registry. On a
+// cluster node the checkpoint key lives in one shard like any other
+// record, so only that shard's owner writes it — everyone else's monitor
+// state stays in memory (reconstructible from traffic, same as before
+// persistence existed).
 func (s *Server) flushDriftState() {
 	d := s.drift
 	if d == nil || s.persist == nil || s.follower.Load() {
 		return
+	}
+	if s.router != nil {
+		if decision, _ := s.router.RouteWrite(store.DriftStateKey); decision != RouteLocal {
+			return
+		}
 	}
 	snap := d.monitor.Snapshot()
 	if len(snap) == 0 {
@@ -281,6 +349,52 @@ func (s *Server) sampleImpostorsLocked(anon string, budget int) []features.Windo
 		}
 	}
 	return out
+}
+
+// driftStates serves the TypeDriftState request from the monitor: one
+// user's state, or the population's most-drifted slice (ascending EWMA,
+// so the users closest to — or past — the retrain trigger come first).
+func (s *Server) driftStates(req driftStateRequest) (driftStateResponse, error) {
+	d := s.drift
+	if d == nil {
+		return driftStateResponse{}, fmt.Errorf("drift-state: drift-triggered retraining is disabled on this server")
+	}
+	now := time.Now()
+	entry := func(user string, st retrain.UserState) DriftStateEntry {
+		return DriftStateEntry{
+			User:                user,
+			EWMA:                st.EWMA,
+			Windows:             st.Windows,
+			LastTrainAgeSeconds: now.Sub(time.Unix(st.LastTrainUnix, 0)).Seconds(),
+		}
+	}
+	if req.UserID != "" {
+		anon := anonymize(req.UserID)
+		st, ok := d.monitor.State(anon)
+		if !ok {
+			return driftStateResponse{}, nil
+		}
+		return driftStateResponse{States: []DriftStateEntry{entry(anon, st)}}, nil
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 100
+	}
+	snap := d.monitor.Snapshot()
+	states := make([]DriftStateEntry, 0, len(snap))
+	for user, st := range snap {
+		states = append(states, entry(user, st))
+	}
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].EWMA != states[j].EWMA {
+			return states[i].EWMA < states[j].EWMA
+		}
+		return states[i].User < states[j].User
+	})
+	if len(states) > limit {
+		states = states[:limit]
+	}
+	return driftStateResponse{States: states}, nil
 }
 
 // driftStats snapshots the retrain subsystem for the stats response.

@@ -205,6 +205,12 @@ type Server struct {
 	follower atomic.Bool
 	replInfo func() *ReplicationInfo
 
+	// router, when non-nil, makes this server one writable node of a
+	// shard-ownership cluster: writes for shards it owns are served,
+	// everything else is redirected to the owner (or briefly refused while
+	// a handoff seals the shard).
+	router ShardRouter
+
 	pool *workerPool
 	// drift is the drift-triggered retraining loop; nil when disabled.
 	drift *driftLoop
@@ -262,6 +268,12 @@ type ServerConfig struct {
 	// ReplicationInfo, when set, is polled by the stats request to report
 	// this server's replication role and progress.
 	ReplicationInfo func() *ReplicationInfo
+	// Router, when set, plugs this server into a shard-ownership cluster:
+	// writes are answered only for shards the router reports as locally
+	// owned (others redirect to the owner's client address), the shard map
+	// is served to routing clients, and the retrain scheduler's budget is
+	// partitioned by the node's owned-shard fraction. Requires Store.
+	Router ShardRouter
 	// Retrain, when set, enables autonomous drift-triggered retraining:
 	// every served authenticate decision updates a per-user drift monitor,
 	// and users whose confidence EWMA sinks below Retrain.Threshold are
@@ -293,6 +305,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		models:     make(map[string]*core.ModelBundle),
 		leaderAddr: cfg.LeaderAddr,
 		replInfo:   cfg.ReplicationInfo,
+		router:     cfg.Router,
 		closed:     make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 	}
@@ -301,6 +314,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return nil, fmt.Errorf("transport: a follower server needs a durable store to replicate into")
 		}
 		s.follower.Store(true)
+	}
+	if cfg.Router != nil && cfg.Store == nil {
+		return nil, fmt.Errorf("transport: a cluster node needs a durable store")
 	}
 	if s.persist != nil {
 		// Replay the recovered population: the persisted identifiers are
@@ -318,12 +334,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // SeedPopulation preloads anonymized population windows (the data of
 // previously enrolled users), keyed by any stable identifier; identifiers
-// are anonymized before storage.
+// are anonymized before storage. On a cluster node only locally-owned
+// users are seeded — writing another node's shard would fork its
+// sequence numbers — so seed each node with the same map and the
+// population lands partitioned exactly as live enrolls would.
 func (s *Server) SeedPopulation(byUser map[string][]features.WindowSample) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, samples := range byUser {
 		anon := anonymize(id)
+		if s.router != nil {
+			if decision, _ := s.router.RouteWrite(anon); decision != RouteLocal {
+				continue
+			}
+		}
 		anonymized := anonymizeSamples(anon, samples)
 		if s.persist != nil {
 			if err := s.persist.Enroll(anon, anonymized, false); err != nil {
@@ -401,6 +425,12 @@ func anonymize(userID string) string {
 	return "anon-" + hex.EncodeToString(sum[:8])
 }
 
+// AnonymizeUser exposes the server's pseudonym mapping: the pure
+// function every layer agrees on for shard placement (the store hashes
+// the pseudonym, never the raw id). Cluster tooling uses it to compute
+// which node owns a user without a round trip.
+func AnonymizeUser(userID string) string { return anonymize(userID) }
+
 func anonymizeSamples(anon string, in []features.WindowSample) []features.WindowSample {
 	out := make([]features.WindowSample, len(in))
 	for i, w := range in {
@@ -417,6 +447,13 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
+	return s.StartListener(ln)
+}
+
+// StartListener is Start over an already-bound listener — cluster
+// bring-up binds every port first so the shard map can carry final
+// client addresses before any server starts.
+func (s *Server) StartListener(ln net.Listener) (net.Addr, error) {
 	s.listener = ln
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
@@ -540,6 +577,32 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			Leader:  leader,
 		})
 	}
+	sealedBusy := func() Envelope {
+		return respond(TypeBusy, busyPayload{
+			Message:           "shard is mid-handoff, retry shortly",
+			RetryAfterSeconds: 0.05,
+		})
+	}
+	// routeCheck asks the cluster router where a write for anon belongs.
+	// A remote owner becomes a redirect carrying its address (the client
+	// refreshes its shard map and follows); a sealed shard becomes a brief
+	// busy (the handoff publishes the new owner within the backoff).
+	routeCheck := func(anon string) (Envelope, bool) {
+		if s.router == nil {
+			return Envelope{}, false
+		}
+		switch decision, owner := s.router.RouteWrite(anon); decision {
+		case RouteRemote:
+			return respond(TypeRedirect, redirectPayload{
+				Message: fmt.Sprintf("%s: shard owned by another node", env.Type),
+				Leader:  owner,
+			}), true
+		case RouteSealed:
+			return sealedBusy(), true
+		default:
+			return Envelope{}, false
+		}
+	}
 
 	switch env.Type {
 	case TypeEnroll:
@@ -554,6 +617,9 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			return fail(fmt.Errorf("enroll: missing user id"))
 		}
 		anon := anonymize(req.UserID)
+		if resp, routed := routeCheck(anon); routed {
+			return resp
+		}
 		anonymized := anonymizeSamples(anon, req.Samples)
 		s.mu.Lock()
 		// WAL-first: the mutation is durable before it is applied or
@@ -561,6 +627,11 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		if s.persist != nil {
 			if err := s.persist.Enroll(anon, anonymized, req.Replace); err != nil {
 				s.mu.Unlock()
+				if errors.Is(err, store.ErrSealed) {
+					// The shard sealed between the route check and the
+					// append; nothing was applied.
+					return sealedBusy()
+				}
 				return fail(fmt.Errorf("enroll: persist: %w", err))
 			}
 		}
@@ -586,10 +657,17 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		if s.follower.Load() {
 			return redirect()
 		}
+		if req.UserID == "" {
+			return fail(fmt.Errorf("train: missing user id"))
+		}
+		anon := anonymize(req.UserID)
+		if resp, routed := routeCheck(anon); routed {
+			return resp
+		}
 		// Training is the one CPU-heavy request; it runs on the bounded
 		// worker pool. A full queue fails fast with TypeBusy so a burst of
 		// retraining phones degrades into retries, not an overloaded host.
-		job := trainJob{req: req, done: make(chan trainResult, 1)}
+		job := trainJob{req: req, anon: anon, done: make(chan trainResult, 1)}
 		if !s.pool.trySubmit(job) {
 			s.logf("train %s: queue full, rejecting", req.UserID)
 			return respond(TypeBusy, busyPayload{
@@ -599,6 +677,12 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		}
 		res := <-job.done
 		if res.err != nil {
+			if errors.Is(res.err, store.ErrSealed) {
+				// The model publish raced a shard handoff; the bundle was
+				// never registered, so a retry re-trains against the new
+				// owner cleanly.
+				return sealedBusy()
+			}
 			return fail(res.err)
 		}
 		return respond(TypeOK, trainResponse{Bundle: res.bundle, Version: res.version})
@@ -640,6 +724,9 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			return fail(fmt.Errorf("retrain: missing user id"))
 		}
 		anon := anonymize(req.UserID)
+		if resp, routed := routeCheck(anon); routed {
+			return resp
+		}
 		s.mu.Lock()
 		_, known := s.store[anon]
 		s.mu.Unlock()
@@ -697,6 +784,26 @@ func (s *Server) dispatch(env Envelope) Envelope {
 			return fail(err)
 		}
 		return respond(TypeOK, fetchModelResponse{Version: version, Bundle: bundle})
+
+	case TypeShardMap:
+		if err := env.Open(s.key, nil); err != nil {
+			return fail(err)
+		}
+		if s.router == nil {
+			return fail(fmt.Errorf("shard-map: this server is not part of a cluster"))
+		}
+		return respond(TypeOK, shardMapResponse{Map: s.router.ShardMapInfo()})
+
+	case TypeDriftState:
+		var req driftStateRequest
+		if err := env.Open(s.key, &req); err != nil {
+			return fail(err)
+		}
+		resp, err := s.driftStates(req)
+		if err != nil {
+			return fail(err)
+		}
+		return respond(TypeOK, resp)
 
 	case TypeStats:
 		if err := env.Open(s.key, nil); err != nil {

@@ -48,6 +48,8 @@ const (
 	typeByteBusy          byte = 11
 	typeByteRedirect      byte = 12
 	typeByteError         byte = 13
+	typeByteShardMap      byte = 14
+	typeByteDriftState    byte = 15
 )
 
 var typeToByte = map[string]byte{
@@ -64,6 +66,8 @@ var typeToByte = map[string]byte{
 	TypeBusy:          typeByteBusy,
 	TypeRedirect:      typeByteRedirect,
 	TypeError:         typeByteError,
+	TypeShardMap:      typeByteShardMap,
+	TypeDriftState:    typeByteDriftState,
 }
 
 var byteToType = func() map[byte]string {

@@ -32,6 +32,9 @@
 package smarteryou
 
 import (
+	"time"
+
+	"smarteryou/internal/cluster"
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
@@ -360,4 +363,66 @@ func NewReplicationLeader(cfg ReplicationLeaderConfig) (*ReplicationLeader, erro
 // store converged with it until Close or Promote.
 func StartReplicationFollower(cfg ReplicationFollowerConfig) (*ReplicationFollower, error) {
 	return replication.StartFollower(cfg)
+}
+
+// Cluster: multi-leader shard ownership across Authentication Servers.
+// Each node owns a subset of the store's FNV shards — it is the only
+// node assigning sequence numbers there — and replicates to every peer
+// over the full mesh, so write throughput scales with node count while
+// reads stay serveable anywhere. Clients route writes by shard with a
+// cached, versioned ShardMap (AuthClientConfig.RouteByShard) and chase
+// redirects when the map moves under them.
+type (
+	// ClusterNode is one cluster member: replication leader for its own
+	// store, mesh follower of every peer, and the transport server's
+	// ShardRouter. Wire it via AuthServerConfig.Router.
+	ClusterNode = cluster.Node
+	// ClusterNodeConfig configures a node.
+	ClusterNodeConfig = cluster.NodeConfig
+	// ClusterNodeInfo is one node's address triple as carried in the map.
+	ClusterNodeInfo = cluster.NodeInfo
+	// ClusterShardMap is the versioned shard→owner routing artifact.
+	ClusterShardMap = cluster.ShardMap
+	// ClusterHooks observe mesh replication so the serving layer stays in
+	// step with the store.
+	ClusterHooks = cluster.Hooks
+	// ShardMapInfo is the client-facing slice of the shard map, as served
+	// over the wire and cached by routing clients.
+	ShardMapInfo = transport.ShardMapInfo
+	// DriftStateEntry is one user's drift-monitor state (confidence EWMA,
+	// windows since last train) as served by the drift-state request.
+	DriftStateEntry = transport.DriftStateEntry
+)
+
+// NewClusterNode validates the config and builds a cluster node; Start
+// it with ClusterHooks pointing at the serving AuthServer.
+func NewClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) {
+	return cluster.NewNode(cfg)
+}
+
+// BalancedShardMap builds a version-1 map spreading shards round-robin
+// across the given nodes — the bootstrap artifact a fresh cluster
+// starts from.
+func BalancedShardMap(nodes []ClusterNodeInfo, shards int) (*ClusterShardMap, error) {
+	return cluster.BalancedMap(nodes, shards)
+}
+
+// FetchClusterMap retrieves a peer's current shard map from its control
+// endpoint — how a joining node or an operator tool bootstraps.
+func FetchClusterMap(ctrlAddr string, key []byte, timeout time.Duration) (*ClusterShardMap, error) {
+	return cluster.FetchMap(ctrlAddr, key, timeout)
+}
+
+// DetectorRegistryKey is the reserved registry identifier the published
+// context detector lives under. It routes like any other key — it
+// hashes to exactly one shard, so in a cluster only the node owning
+// ClusterShardMap.ShardForUser of this key publishes the detector;
+// every other node receives it over the mesh.
+const DetectorRegistryKey = store.DetectorKey
+
+// AnonymizeUser maps a device-side user ID to the server-side pseudonym
+// under which the population store keys it — the hash routing clients
+// shard by.
+func AnonymizeUser(userID string) string {
+	return transport.AnonymizeUser(userID)
 }
