@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build vet fmt test race fuzz bench bench-auth bench-wire bench-replication bench-cluster bench-fleet race-pool race-replication race-retrain race-cluster check-scenarios
+.PHONY: check build vet fmt test race fuzz bench bench-auth bench-wire bench-replication bench-cluster bench-cas bench-fleet race-pool race-replication race-retrain race-cas race-cluster check-scenarios
 
-check: build vet fmt race race-pool race-replication race-retrain race-cluster check-scenarios
+check: build vet fmt race race-pool race-replication race-retrain race-cas race-cluster check-scenarios
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,8 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeBinaryPayload -fuzztime=10s ./internal/store/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeBinarySnapshot -fuzztime=10s ./internal/store/
 	$(GO) test -run=Fuzz -fuzz=FuzzOpenWAL -fuzztime=10s ./internal/store/
+	$(GO) test -run=Fuzz -fuzz=FuzzSnapshotDelta -fuzztime=10s ./internal/store/
+	$(GO) test -run=Fuzz -fuzz=FuzzCASBlob -fuzztime=10s ./internal/cas/
 	$(GO) test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeOpen -fuzztime=10s ./internal/transport/
 	$(GO) test -run=Fuzz -fuzz=FuzzEnvelopeV2 -fuzztime=10s ./internal/transport/
@@ -91,6 +93,14 @@ race-retrain:
 	$(GO) test -race -run='TestRetrainRaceHammer' ./internal/transport/
 	$(GO) test -race -run='TestRetrainSchedulerHammer' ./internal/retrain/
 
+# Content-addressed store hammer under the race detector: concurrent
+# publishes, sweeps, and reads cross the shard/CAS refcount boundary —
+# the chunk-lifetime invariant (refs ∪ pins ∪ protect) only holds if
+# every transition is correctly locked. Pinned by name like race-pool.
+race-cas:
+	$(GO) test -race -run='TestConcurrentPutSweep' ./internal/cas/
+	$(GO) test -race -run='TestCASRaceHammer' ./internal/store/
+
 # Shard-handoff hammer under the race detector: concurrent routed
 # writes race a live shard acquisition between two full cluster nodes —
 # seal, mesh convergence, map publish, and the no-acked-write-lost
@@ -112,6 +122,14 @@ bench-replication:
 # one command. Numbers land in BENCH_store.json's cluster block.
 bench-cluster:
 	$(GO) test -run=xxx -bench=BenchmarkClusterEnroll -benchtime=3s -count=3 -timeout=30m ./internal/cluster/
+
+# Content-addressed storage benchmarks: chunk-level dedup across
+# keep-last-5 incrementally retrained models (the dedup-x metric must
+# hold >=3x) and the lagging-follower delta reconnect (delta-bytes/op vs
+# full-bytes/op). Numbers land in BENCH_store.json's cas block.
+bench-cas:
+	$(GO) test -run=xxx -bench=BenchmarkCASDedupKeepLast5 -benchtime=10x ./internal/store/
+	$(GO) test -run=xxx -bench=BenchmarkDeltaCatchUp -benchtime=50x ./internal/replication/
 
 # Scenario regression suite under the race detector: every shipped
 # profile in scenarios/ runs at smoke scale (200-identity fleet, 30 s op

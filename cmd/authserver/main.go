@@ -114,8 +114,18 @@ func run() int {
 		retrainBudget    = flag.Int("retrain-budget", 2, "scheduled retrains allowed to run concurrently")
 		retrainCooldown  = flag.Duration("retrain-cooldown", 30*time.Minute, "minimum gap between scheduled retrains of the same user")
 		retrainRecent    = flag.Int("retrain-recent", 400, "newest stored windows a scheduled retrain trains on")
+
+		storeScrub       = flag.Bool("store-scrub", false, "offline mode: verify the -data-dir store's content-addressed chunks (hashes, references), report orphans and damage, then exit")
+		storeScrubRemove = flag.Bool("store-scrub-remove", false, "with -store-scrub, delete orphaned chunks instead of only reporting them")
 	)
 	flag.Parse()
+	if *storeScrub || *storeScrubRemove {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "authserver: -store-scrub needs -data-dir")
+			return 2
+		}
+		return runScrub(*dataDir, *shards, *keepModels, *storeScrubRemove)
+	}
 	if *key == "" {
 		fmt.Fprintln(os.Stderr, "authserver: -key is required")
 		return 2

@@ -1,0 +1,73 @@
+package cas
+
+import (
+	"encoding/binary"
+
+	"smarteryou/internal/binio"
+)
+
+// Manifest wire/disk encoding, shared by the store's snapshot.cas format
+// and the replication delta frames:
+//
+//	uvarint blob size
+//	32B     whole-blob SHA-256
+//	uvarint chunk count
+//	per chunk: 32B hash + uvarint size
+//
+// The encoding is deterministic (chunk order is the blob's byte order),
+// so identical blobs produce identical manifest bytes — snapshots of
+// unchanged state dedup down to their framing.
+
+// AppendManifest appends the binary encoding of m.
+func AppendManifest(buf []byte, m Manifest) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.Size))
+	buf = append(buf, m.Sum[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		buf = append(buf, c.Hash[:]...)
+		buf = binary.AppendUvarint(buf, uint64(c.Size))
+	}
+	return buf
+}
+
+// EncodedManifestLen returns an upper bound on AppendManifest's output
+// size, for preallocation.
+func EncodedManifestLen(m Manifest) int {
+	return 2*binary.MaxVarintLen64 + HashSize + len(m.Chunks)*(HashSize+binary.MaxVarintLen64)
+}
+
+// ReadManifest decodes one manifest at the reader's cursor. Errors latch
+// on the reader; the count is bounded by the remaining bytes so a corrupt
+// prefix cannot drive a huge allocation.
+func ReadManifest(r *binio.Reader) Manifest {
+	var m Manifest
+	m.Size = int64(r.Uvarint())
+	m.Sum = ReadHash(r)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return Manifest{}
+	}
+	if n > uint64(r.Remaining()/(HashSize+1))+1 {
+		r.Fail("cas: chunk count %d exceeds %d remaining bytes", n, r.Remaining())
+		return Manifest{}
+	}
+	m.Chunks = make([]Chunk, 0, n)
+	for i := uint64(0); i < n && r.Err() == nil; i++ {
+		c := Chunk{Hash: ReadHash(r)}
+		c.Size = int(r.Uvarint())
+		m.Chunks = append(m.Chunks, c)
+	}
+	if r.Err() != nil {
+		return Manifest{}
+	}
+	return m
+}
+
+// ReadHash decodes one raw 32-byte hash at the reader's cursor.
+func ReadHash(r *binio.Reader) Hash {
+	var h Hash
+	for i := range h {
+		h[i] = r.Byte()
+	}
+	return h
+}

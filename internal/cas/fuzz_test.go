@@ -1,0 +1,52 @@
+package cas
+
+import (
+	"bytes"
+	"testing"
+
+	"smarteryou/internal/binio"
+)
+
+// FuzzCASBlob drives arbitrary blobs through the chunk/manifest pipeline:
+// splitting must partition the blob exactly, the manifest codec must
+// round-trip, and the manifest decoder must never panic or over-allocate
+// on mutated manifest bytes.
+func FuzzCASBlob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("short blob"))
+	f.Add(bytes.Repeat([]byte{0}, MinChunkSize*3))
+	f.Add(randomBlob(42, MaxChunkSize+100))
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		m, parts := ManifestOf(blob)
+		total := 0
+		for i, p := range parts {
+			if len(p) == 0 || len(p) > MaxChunkSize {
+				t.Fatalf("chunk %d has invalid length %d", i, len(p))
+			}
+			if HashOf(p) != m.Chunks[i].Hash || len(p) != m.Chunks[i].Size {
+				t.Fatalf("chunk %d manifest mismatch", i)
+			}
+			total += len(p)
+		}
+		if total != len(blob) || int64(total) != m.Size {
+			t.Fatalf("chunks cover %d of %d bytes", total, len(blob))
+		}
+
+		enc := AppendManifest(nil, m)
+		r := binio.NewReader(enc)
+		got := ReadManifest(r)
+		if err := r.Err(); err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if got.Sum != m.Sum || got.Size != m.Size || len(got.Chunks) != len(m.Chunks) {
+			t.Fatalf("manifest round trip mismatch")
+		}
+
+		// The decoder must survive the blob bytes themselves as a hostile
+		// manifest encoding (errors are fine; panics and huge allocations
+		// are not).
+		hostile := binio.NewReader(blob)
+		_ = ReadManifest(hostile)
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/store"
 )
 
@@ -36,6 +37,10 @@ type FollowerConfig struct {
 	DialTimeout time.Duration
 	// RedialDelay spaces reconnection attempts (default 250ms).
 	RedialDelay time.Duration
+	// DisableDelta forces protocol version 1: catch-up past a compacted
+	// log ships full snapshots instead of chunk deltas. For benchmarking
+	// the two paths against each other and as an escape hatch.
+	DisableDelta bool
 }
 
 // Follower maintains a replication stream from a leader, applying
@@ -191,7 +196,15 @@ func (f *Follower) session() (err error) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 16<<10)
 	_ = conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	if err := writeWireFrame(conn, encodeHello(helloFrame{version: 1, seqs: cursors}, f.cfg.Key)); err != nil {
+	hello := helloFrame{version: 2, seqs: cursors}
+	if f.cfg.DisableDelta {
+		hello.version = 1
+	} else {
+		// Declare the chunks already on hand so a delta catch-up ships
+		// only what's missing.
+		hello.hashes = st.CASHashes()
+	}
+	if err := writeWireFrame(conn, encodeHello(hello, f.cfg.Key)); err != nil {
 		return fmt.Errorf("send hello: %w", err)
 	}
 	payload, err := readWireFrame(br)
@@ -222,8 +235,11 @@ func (f *Follower) session() (err error) {
 	f.logf("replication follower: connected to %s at cursors %v (leader at %v)",
 		f.cfg.LeaderAddr, cursors, welcome.seqs)
 
-	// Partial snapshot bytes per shard while chunks stream in.
+	// Partial snapshot bytes per shard while chunks stream in, and the
+	// in-flight delta state (body + shipped chunk payloads) per shard.
 	pending := make(map[int][]byte)
+	deltaBodies := make(map[int][]byte)
+	deltaData := make(map[int]map[cas.Hash][]byte)
 	for {
 		// Flush pending acks only when about to block: the leader never
 		// waits on acks (they feed lag accounting), so holding them while
@@ -287,6 +303,66 @@ func (f *Follower) session() (err error) {
 				f.cfg.OnSnapshot(chunk.shard)
 			}
 			if err := writeWireFrame(bw, encodeAck(ackFrame{shard: chunk.shard, seq: lastSeq})); err != nil {
+				return fmt.Errorf("send ack: %w", err)
+			}
+		case frameDeltaBody:
+			d, err := decodeDeltaBody(payload)
+			if err != nil {
+				return err
+			}
+			if d.shard < 0 || d.shard >= len(cursors) {
+				return fmt.Errorf("delta for shard %d of %d", d.shard, len(cursors))
+			}
+			deltaBodies[d.shard] = append([]byte(nil), d.data...)
+		case frameDeltaChunks:
+			d, err := decodeDeltaChunks(payload)
+			if err != nil {
+				return err
+			}
+			if d.shard < 0 || d.shard >= len(cursors) {
+				return fmt.Errorf("delta chunks for shard %d of %d", d.shard, len(cursors))
+			}
+			m := deltaData[d.shard]
+			if m == nil {
+				m = make(map[cas.Hash][]byte)
+				deltaData[d.shard] = m
+			}
+			for i, h := range d.hashes {
+				m[h] = append([]byte(nil), d.data[i]...)
+			}
+		case frameDeltaDone:
+			d, err := decodeDeltaDone(payload)
+			if err != nil {
+				return err
+			}
+			if d.shard < 0 || d.shard >= len(cursors) {
+				return fmt.Errorf("delta done for shard %d of %d", d.shard, len(cursors))
+			}
+			body := deltaBodies[d.shard]
+			if body == nil {
+				return fmt.Errorf("delta done for shard %d without a body", d.shard)
+			}
+			chunks := deltaData[d.shard]
+			delete(deltaBodies, d.shard)
+			delete(deltaData, d.shard)
+			lastSeq, err := st.InstallShardDelta(d.shard, body, chunks)
+			if err != nil {
+				return fmt.Errorf("install shard %d delta: %w", d.shard, err)
+			}
+			if lastSeq != d.lastSeq {
+				return fmt.Errorf("shard %d delta installed at seq %d, leader said %d", d.shard, lastSeq, d.lastSeq)
+			}
+			cursors[d.shard] = lastSeq
+			shipped := 0
+			for _, c := range chunks {
+				shipped += len(c)
+			}
+			f.logf("replication follower: installed shard %d delta (%d body bytes, %d chunk bytes) at seq %d",
+				d.shard, len(body), shipped, lastSeq)
+			if f.cfg.OnSnapshot != nil {
+				f.cfg.OnSnapshot(d.shard)
+			}
+			if err := writeWireFrame(bw, encodeAck(ackFrame{shard: d.shard, seq: lastSeq})); err != nil {
 				return fmt.Errorf("send ack: %w", err)
 			}
 		case frameError:

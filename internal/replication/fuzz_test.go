@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"smarteryou/internal/cas"
 )
 
 // FuzzReplFrame throws arbitrary bytes at every replication frame
@@ -13,11 +15,23 @@ import (
 func FuzzReplFrame(f *testing.F) {
 	key := []byte("fuzz-key")
 	f.Add(encodeHello(helloFrame{version: 1, seqs: []uint64{0, 5, 12}}, key))
+	f.Add(encodeHello(helloFrame{
+		version: 2,
+		seqs:    []uint64{7},
+		hashes:  []cas.Hash{cas.HashOf([]byte("chunk-a")), cas.HashOf([]byte("chunk-b"))},
+	}, key))
 	f.Add(encodeWelcome(welcomeFrame{version: 1, clientAddr: "127.0.0.1:7600", seqs: []uint64{3}}, key))
 	f.Add(encodeRecordFrame(recordFrame{shard: 2, payload: []byte{0x01, 0xaa, 0xbb}}))
 	f.Add(encodeSnapshotChunk(snapshotChunk{shard: 1, last: true, lastSeq: 9, data: []byte("snap")}))
 	f.Add(encodeSnapshotChunk(snapshotChunk{shard: 0, data: bytes.Repeat([]byte{0x55}, 64)}))
 	f.Add(encodeAck(ackFrame{shard: 3, seq: 77}))
+	f.Add(encodeDeltaBody(deltaBody{shard: 1, data: []byte("cas body bytes")}))
+	f.Add(encodeDeltaChunks(deltaChunks{
+		shard:  2,
+		hashes: []cas.Hash{cas.HashOf([]byte("payload"))},
+		data:   [][]byte{[]byte("payload")},
+	}))
+	f.Add(encodeDeltaDone(deltaDone{shard: 0, lastSeq: 31}))
 	f.Add(encodeErrorFrame("shard count mismatch"))
 	f.Add([]byte{frameHello})
 	f.Add([]byte{})
@@ -52,6 +66,24 @@ func FuzzReplFrame(f *testing.F) {
 		if a, err := decodeAck(payload); err == nil {
 			if a2, err := decodeAck(encodeAck(a)); err != nil || a != a2 {
 				t.Fatalf("ack did not round-trip: %+v vs %+v (%v)", a, a2, err)
+			}
+		}
+		if d, err := decodeDeltaBody(payload); err == nil {
+			if d2, err := decodeDeltaBody(encodeDeltaBody(d)); err != nil || !reflect.DeepEqual(d, d2) {
+				t.Fatalf("delta body did not round-trip (%v)", err)
+			}
+		}
+		if c, err := decodeDeltaChunks(payload); err == nil {
+			if len(c.hashes) != len(c.data) {
+				t.Fatalf("delta chunks decoded %d hashes for %d payloads", len(c.hashes), len(c.data))
+			}
+			if c2, err := decodeDeltaChunks(encodeDeltaChunks(c)); err != nil || !reflect.DeepEqual(c, c2) {
+				t.Fatalf("delta chunks did not round-trip (%v)", err)
+			}
+		}
+		if d, err := decodeDeltaDone(payload); err == nil {
+			if d2, err := decodeDeltaDone(encodeDeltaDone(d)); err != nil || d != d2 {
+				t.Fatalf("delta done did not round-trip: %+v vs %+v (%v)", d, d2, err)
 			}
 		}
 		_, _ = decodeErrorFrame(payload)

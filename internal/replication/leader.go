@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/store"
 )
 
@@ -53,6 +55,13 @@ type Leader struct {
 	mu    sync.Mutex
 	conns map[*leaderConn]struct{}
 
+	// Catch-up byte accounting across all follower sessions: full
+	// snapshot bytes shipped, delta bytes shipped, and delta bytes
+	// *avoided* because the follower already held the chunks.
+	fullBytes       atomic.Uint64
+	deltaBytes      atomic.Uint64
+	deltaSavedBytes atomic.Uint64
+
 	ln     net.Listener
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -69,6 +78,13 @@ type outRec struct {
 type leaderConn struct {
 	conn net.Conn
 	out  chan outRec
+	// version is the protocol version from the follower's hello; delta
+	// catch-up needs >= 2.
+	version int
+	// declared tracks the chunk hashes the follower holds: seeded from
+	// its hello, extended by every chunk this session ships. Only the
+	// session goroutine touches it.
+	declared map[cas.Hash]struct{}
 	// dead is closed when the connection must be torn down (queue
 	// overflow, read error, leader shutdown).
 	dead     chan struct{}
@@ -186,7 +202,13 @@ func (l *Leader) Close() error {
 // Status reports the leader's cursors and each follower's progress.
 func (l *Leader) Status() Status {
 	lead := l.st.ShardLastSeqs()
-	st := Status{Role: "leader", ShardSeqs: lead}
+	st := Status{
+		Role:                   "leader",
+		ShardSeqs:              lead,
+		CatchupFullBytes:       l.fullBytes.Load(),
+		CatchupDeltaBytes:      l.deltaBytes.Load(),
+		CatchupDeltaSavedBytes: l.deltaSavedBytes.Load(),
+	}
 	l.mu.Lock()
 	for fc := range l.conns {
 		fc.mu.Lock()
@@ -227,10 +249,15 @@ func (l *Leader) handle(conn net.Conn) {
 	}
 
 	fc := &leaderConn{
-		conn:  conn,
-		out:   make(chan outRec, l.depth),
-		dead:  make(chan struct{}),
-		acked: append([]uint64(nil), hello.seqs...),
+		conn:     conn,
+		out:      make(chan outRec, l.depth),
+		version:  hello.version,
+		declared: make(map[cas.Hash]struct{}, len(hello.hashes)),
+		dead:     make(chan struct{}),
+		acked:    append([]uint64(nil), hello.seqs...),
+	}
+	for _, h := range hello.hashes {
+		fc.declared[h] = struct{}{}
 	}
 	l.mu.Lock()
 	l.conns[fc] = struct{}{}
@@ -338,16 +365,17 @@ func (l *Leader) catchUp(fc *leaderConn, bw *bufio.Writer, sent []uint64) error 
 				return err
 			}
 			// The follower's cursor predates the oldest log record: ship
-			// the shard's snapshot (copy-on-write view; appends continue)
-			// and retry the log tail from the snapshot's cursor.
-			data, lastSeq, err := l.st.ShardSnapshotBytes(shard)
+			// the shard's state (copy-on-write view; appends continue) and
+			// retry the log tail from the shipped cursor. Version-2
+			// followers get a delta — the snapshot body plus only the
+			// chunks they don't hold; older ones get the full snapshot.
+			var lastSeq uint64
+			if fc.version >= 2 {
+				lastSeq, err = l.sendDelta(fc, bw, shard, sent[shard])
+			} else {
+				lastSeq, err = l.sendFullSnapshot(bw, shard, sent[shard])
+			}
 			if err != nil {
-				return err
-			}
-			if lastSeq <= sent[shard] {
-				return fmt.Errorf("replication: shard %d snapshot at %d does not cover cursor %d", shard, lastSeq, sent[shard])
-			}
-			if err := l.sendSnapshot(bw, shard, lastSeq, data); err != nil {
 				return err
 			}
 			sent[shard] = lastSeq
@@ -356,8 +384,17 @@ func (l *Leader) catchUp(fc *leaderConn, bw *bufio.Writer, sent []uint64) error 
 	return nil
 }
 
-// sendSnapshot streams one shard snapshot in bounded chunks.
-func (l *Leader) sendSnapshot(bw *bufio.Writer, shard int, lastSeq uint64, data []byte) error {
+// sendFullSnapshot encodes and streams one full shard snapshot in
+// bounded chunks, returning the cursor it covers.
+func (l *Leader) sendFullSnapshot(bw *bufio.Writer, shard int, cursor uint64) (uint64, error) {
+	data, lastSeq, err := l.st.ShardSnapshotBytes(shard)
+	if err != nil {
+		return 0, err
+	}
+	if lastSeq <= cursor {
+		return 0, fmt.Errorf("replication: shard %d snapshot at %d does not cover cursor %d", shard, lastSeq, cursor)
+	}
+	l.fullBytes.Add(uint64(len(data)))
 	for off := 0; ; off += snapshotChunkBytes {
 		end := off + snapshotChunkBytes
 		last := end >= len(data)
@@ -369,12 +406,69 @@ func (l *Leader) sendSnapshot(bw *bufio.Writer, shard int, lastSeq uint64, data 
 			chunk.lastSeq = lastSeq
 		}
 		if err := writeWireFrame(bw, encodeSnapshotChunk(chunk)); err != nil {
-			return err
+			return 0, err
 		}
 		if last {
-			return nil
+			return lastSeq, nil
 		}
 	}
+}
+
+// sendDelta ships one shard's content-addressed snapshot body plus only
+// the chunks the follower has not declared, in batches cut near
+// snapshotChunkBytes. Every shipped chunk joins the declared set — the
+// follower's CAS is store-wide, so a chunk shipped for shard 0 need not
+// ship again for shard 1.
+func (l *Leader) sendDelta(fc *leaderConn, bw *bufio.Writer, shard int, cursor uint64) (uint64, error) {
+	body, lastSeq, chunks, err := l.st.ShardDelta(shard)
+	if err != nil {
+		return 0, err
+	}
+	if lastSeq <= cursor {
+		return 0, fmt.Errorf("replication: shard %d delta at %d does not cover cursor %d", shard, lastSeq, cursor)
+	}
+	if err := writeWireFrame(bw, encodeDeltaBody(deltaBody{shard: shard, data: body})); err != nil {
+		return 0, err
+	}
+	sent := uint64(len(body))
+	batch := deltaChunks{shard: shard}
+	batchBytes := 0
+	flush := func() error {
+		if len(batch.hashes) == 0 {
+			return nil
+		}
+		if err := writeWireFrame(bw, encodeDeltaChunks(batch)); err != nil {
+			return err
+		}
+		batch.hashes = batch.hashes[:0]
+		batch.data = batch.data[:0]
+		batchBytes = 0
+		return nil
+	}
+	for h, data := range chunks {
+		if _, ok := fc.declared[h]; ok {
+			l.deltaSavedBytes.Add(uint64(len(data)))
+			continue
+		}
+		fc.declared[h] = struct{}{}
+		batch.hashes = append(batch.hashes, h)
+		batch.data = append(batch.data, data)
+		batchBytes += cas.HashSize + len(data)
+		sent += uint64(cas.HashSize + len(data))
+		if batchBytes >= snapshotChunkBytes {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, err
+	}
+	if err := writeWireFrame(bw, encodeDeltaDone(deltaDone{shard: shard, lastSeq: lastSeq})); err != nil {
+		return 0, err
+	}
+	l.deltaBytes.Add(sent)
+	return lastSeq, nil
 }
 
 // stream forwards live records until the connection dies or the leader

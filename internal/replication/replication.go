@@ -80,6 +80,15 @@ type Status struct {
 	ShardSeqs []uint64
 	// Followers reports, on leaders, each connected follower's progress.
 	Followers []FollowerProgress
+	// CatchupFullBytes counts, on leaders, bytes shipped via full
+	// snapshot catch-ups (protocol v1 followers).
+	CatchupFullBytes uint64
+	// CatchupDeltaBytes counts, on leaders, bytes shipped via delta
+	// catch-ups (snapshot bodies plus missing chunks).
+	CatchupDeltaBytes uint64
+	// CatchupDeltaSavedBytes counts, on leaders, chunk bytes a delta
+	// catch-up skipped because the follower already held them.
+	CatchupDeltaSavedBytes uint64
 }
 
 // FollowerProgress is one follower's acknowledged replication state as

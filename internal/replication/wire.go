@@ -9,6 +9,8 @@ import (
 
 	"crypto/hmac"
 	"crypto/sha256"
+
+	"smarteryou/internal/cas"
 )
 
 // Wire framing: every replication message is one frame,
@@ -35,6 +37,13 @@ const (
 	frameRecord   = 0x72 // 'r': leader -> follower one WAL record
 	frameAck      = 0x61 // 'a': follower -> leader applied cursor
 	frameError    = 0x65 // 'e': fatal protocol error, then close
+
+	// Delta catch-up frames (protocol version 2): instead of a full
+	// snapshot, the leader ships the content-addressed snapshot body plus
+	// only the chunks the follower did not declare in its hello.
+	frameDeltaBody   = 0x64 // 'd': leader -> follower snapshot.cas body
+	frameDeltaChunks = 0x63 // 'c': leader -> follower batch of chunk payloads
+	frameDeltaDone   = 0x66 // 'f': leader -> follower delta complete, install
 )
 
 // maxWireFrame bounds one replication frame. Snapshot chunks are cut at
@@ -174,6 +183,36 @@ func (r *wireReader) seqList() []uint64 {
 	return out
 }
 
+// hash reads one raw 32-byte chunk hash.
+func (r *wireReader) hash() cas.Hash {
+	var h cas.Hash
+	if r.err != nil {
+		return h
+	}
+	if r.remaining() < cas.HashSize {
+		r.fail("truncated hash")
+		return h
+	}
+	copy(h[:], r.b[r.off:])
+	r.off += cas.HashSize
+	return h
+}
+
+// bytes reads a uvarint-length-prefixed byte slice (no copy).
+func (r *wireReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("byte length %d exceeds %d remaining bytes", n, r.remaining())
+		return nil
+	}
+	b := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
 // rest returns everything not yet consumed (no copy; callers that retain
 // it must copy).
 func (r *wireReader) rest() []byte {
@@ -219,15 +258,24 @@ func openHandshake(payload, key []byte) ([]byte, error) {
 	return body, nil
 }
 
-// helloFrame is the follower's opening message.
+// helloFrame is the follower's opening message. Version 2 hellos also
+// declare the chunk hashes the follower's CAS already holds, so a delta
+// catch-up can skip shipping them.
 type helloFrame struct {
 	version int
 	seqs    []uint64 // per-shard durable cursors; length = shard count
+	hashes  []cas.Hash
 }
 
 func encodeHello(h helloFrame, key []byte) []byte {
 	buf := []byte{frameHello, byte(h.version)}
 	buf = appendSeqs(buf, h.seqs)
+	if h.version >= 2 {
+		buf = binary.AppendUvarint(buf, uint64(len(h.hashes)))
+		for _, hash := range h.hashes {
+			buf = append(buf, hash[:]...)
+		}
+	}
 	return sealHandshake(buf, key)
 }
 
@@ -242,6 +290,15 @@ func decodeHello(payload, key []byte) (helloFrame, error) {
 	}
 	h := helloFrame{version: int(r.byte())}
 	h.seqs = r.seqList()
+	if h.version >= 2 && r.err == nil {
+		n := r.uvarint()
+		if n > uint64(r.remaining()/cas.HashSize) {
+			r.fail("hash count %d exceeds %d remaining bytes", n, r.remaining())
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			h.hashes = append(h.hashes, r.hash())
+		}
+	}
 	if r.err == nil && r.off != len(body) {
 		r.fail("%d trailing bytes", len(body)-r.off)
 	}
@@ -359,6 +416,116 @@ func decodeSnapshotChunk(payload []byte) (snapshotChunk, error) {
 		return snapshotChunk{}, r.err
 	}
 	return c, nil
+}
+
+// deltaBody carries one shard's content-addressed snapshot body — the
+// exact bytes of its snapshot.cas file, manifests only, no chunk data.
+type deltaBody struct {
+	shard int
+	data  []byte
+}
+
+func encodeDeltaBody(d deltaBody) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64+len(d.data))
+	buf = append(buf, frameDeltaBody)
+	buf = binary.AppendUvarint(buf, uint64(d.shard))
+	return append(buf, d.data...)
+}
+
+func decodeDeltaBody(payload []byte) (deltaBody, error) {
+	r := &wireReader{b: payload}
+	if t := r.byte(); t != frameDeltaBody && r.err == nil {
+		r.fail("frame type %#x, want delta body", t)
+	}
+	d := deltaBody{shard: int(r.uvarint())}
+	d.data = r.rest()
+	if r.err == nil && len(d.data) == 0 {
+		r.fail("empty delta body")
+	}
+	if r.err != nil {
+		return deltaBody{}, r.err
+	}
+	return d, nil
+}
+
+// deltaChunks is one batch of chunk payloads for a shard's in-flight
+// delta: per chunk a raw hash and a length-prefixed payload. The
+// receiver verifies each payload against its hash when storing it.
+type deltaChunks struct {
+	shard  int
+	hashes []cas.Hash
+	data   [][]byte
+}
+
+func encodeDeltaChunks(d deltaChunks) []byte {
+	size := 1 + 2*binary.MaxVarintLen64
+	for _, c := range d.data {
+		size += cas.HashSize + binary.MaxVarintLen64 + len(c)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, frameDeltaChunks)
+	buf = binary.AppendUvarint(buf, uint64(d.shard))
+	buf = binary.AppendUvarint(buf, uint64(len(d.hashes)))
+	for i, h := range d.hashes {
+		buf = append(buf, h[:]...)
+		buf = binary.AppendUvarint(buf, uint64(len(d.data[i])))
+		buf = append(buf, d.data[i]...)
+	}
+	return buf
+}
+
+func decodeDeltaChunks(payload []byte) (deltaChunks, error) {
+	r := &wireReader{b: payload}
+	if t := r.byte(); t != frameDeltaChunks && r.err == nil {
+		r.fail("frame type %#x, want delta chunks", t)
+	}
+	d := deltaChunks{shard: int(r.uvarint())}
+	n := r.uvarint()
+	if r.err == nil && n > uint64(r.remaining()/(cas.HashSize+1)) {
+		r.fail("chunk count %d exceeds %d remaining bytes", n, r.remaining())
+	}
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		d.hashes = append(d.hashes, r.hash())
+		d.data = append(d.data, r.bytes())
+	}
+	if r.err == nil && r.off != len(payload) {
+		r.fail("%d trailing bytes", len(payload)-r.off)
+	}
+	if r.err != nil {
+		return deltaChunks{}, r.err
+	}
+	return d, nil
+}
+
+// deltaDone closes one shard's delta: every needed chunk has been sent
+// (or was already declared), the follower installs body + chunks and
+// jumps its cursor to lastSeq.
+type deltaDone struct {
+	shard   int
+	lastSeq uint64
+}
+
+func encodeDeltaDone(d deltaDone) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64)
+	buf = append(buf, frameDeltaDone)
+	buf = binary.AppendUvarint(buf, uint64(d.shard))
+	return binary.AppendUvarint(buf, d.lastSeq)
+}
+
+func decodeDeltaDone(payload []byte) (deltaDone, error) {
+	r := &wireReader{b: payload}
+	if t := r.byte(); t != frameDeltaDone && r.err == nil {
+		r.fail("frame type %#x, want delta done", t)
+	}
+	d := deltaDone{shard: int(r.uvarint())}
+	d.lastSeq = r.uvarint()
+	if r.err == nil && r.off != len(payload) {
+		r.fail("%d trailing bytes", len(payload)-r.off)
+	}
+	if r.err != nil {
+		return deltaDone{}, r.err
+	}
+	return d, nil
 }
 
 // ackFrame acknowledges a durable (shard, seq) on the follower.

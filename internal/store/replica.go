@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/features"
 )
 
@@ -273,19 +274,96 @@ func (s *Store) ShardSnapshotBytes(shard int) ([]byte, uint64, error) {
 		sh.mu.Unlock()
 		return nil, 0, ErrClosed
 	}
-	snap := snapshot{
-		LastSeq: sh.nextSeq - 1,
-		Users:   make(map[string][]features.WindowSample, len(sh.users)),
-		Models:  make(map[string][]ModelVersion, len(sh.models)),
-	}
+	lastSeq := sh.nextSeq - 1
+	users := make(map[string][]features.WindowSample, len(sh.users))
 	for id, samples := range sh.users {
-		snap.Users[id] = samples
+		users[id] = samples
 	}
+	models := make(map[string][]modelRef, len(sh.models))
 	for id, versions := range sh.models {
-		snap.Models[id] = versions
+		models[id] = versions
 	}
+	sh.retainModels(models)
 	sh.mu.Unlock()
-	return encodeBinarySnapshot(snap), snap.LastSeq, nil
+	defer sh.releaseModels(models)
+
+	// The v1 wire format carries bundles inline; materialize them from the
+	// CAS (the retained refs keep a concurrent trim from freeing chunks).
+	snap := snapshot{
+		LastSeq: lastSeq,
+		Users:   users,
+		Models:  make(map[string][]ModelVersion, len(models)),
+	}
+	for id, versions := range models {
+		vs := make([]ModelVersion, 0, len(versions))
+		for _, ref := range versions {
+			blob, err := sh.cs.Get(ref.Man)
+			if err != nil {
+				return nil, 0, fmt.Errorf("store: materialize model %q v%d: %w", id, ref.Version, err)
+			}
+			vs = append(vs, ModelVersion{Version: ref.Version, Bundle: blob})
+		}
+		snap.Models[id] = vs
+	}
+	return encodeBinarySnapshot(snap), lastSeq, nil
+}
+
+// ShardDelta encodes the shard's current state as a content-addressed
+// snapshot body — the exact bytes of its snapshot.cas file — plus every
+// chunk the body references, from a copy-on-write view. A leader ships
+// the body whole but filters the chunk set against the hashes the
+// follower declared, so a lagging follower receives only what it lacks.
+func (s *Store) ShardDelta(shard int) (body []byte, lastSeq uint64, chunks map[cas.Hash][]byte, err error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, 0, nil, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, 0, nil, ErrClosed
+	}
+	lastSeq = sh.nextSeq - 1
+	users := make(map[string][]features.WindowSample, len(sh.users))
+	for id, samples := range sh.users {
+		users[id] = samples
+	}
+	models := make(map[string][]modelRef, len(sh.models))
+	for id, versions := range sh.models {
+		models[id] = versions
+	}
+	sh.retainModels(models)
+	sh.mu.Unlock()
+	defer sh.releaseModels(models)
+
+	b := casBody{
+		LastSeq: lastSeq,
+		Users:   make(map[string]cas.Manifest, len(users)),
+		Models:  models,
+	}
+	chunks = make(map[cas.Hash][]byte)
+	for id, samples := range users {
+		m, parts := cas.ManifestOf(encodeWindowBlob(samples))
+		for i, c := range m.Chunks {
+			chunks[c.Hash] = parts[i]
+		}
+		b.Users[id] = m
+	}
+	for id, versions := range models {
+		for _, ref := range versions {
+			for _, c := range ref.Man.Chunks {
+				if _, ok := chunks[c.Hash]; ok {
+					continue
+				}
+				data, err := sh.cs.ChunkData(c.Hash)
+				if err != nil {
+					return nil, 0, nil, fmt.Errorf("store: delta chunk for model %q v%d: %w", id, ref.Version, err)
+				}
+				chunks[c.Hash] = data
+			}
+		}
+	}
+	return encodeCASBody(b), lastSeq, chunks, nil
 }
 
 // ApplyReplicated durably appends one leader-assigned record (WAL-first,
@@ -391,10 +469,43 @@ func (s *shard) installSnapshot(data []byte) (uint64, error) {
 	if err := s.drainLocked(); err != nil {
 		return 0, fmt.Errorf("store: drain before snapshot install: %w", err)
 	}
-	if err := writeSnapshot(s.dir, snap); err != nil {
+	// Intern the shipped inline bundles; disk state is always written in
+	// the content-addressed format, whatever format arrived on the wire.
+	newModels := make(map[string][]modelRef, len(snap.Models))
+	for id, versions := range snap.Models {
+		refs := make([]modelRef, 0, len(versions))
+		for _, mv := range versions {
+			refs = append(refs, modelRef{Version: mv.Version, Man: s.cs.Put(mv.Bundle)})
+		}
+		newModels[id] = refs
+	}
+	if err := writeStateCAS(s.dir, s.cs, snap.LastSeq, snap.Users, newModels); err != nil {
+		s.releaseModels(newModels)
 		return 0, err
 	}
-	// Every sealed segment and the active log predate the snapshot.
+	if err := s.resetLogLocked(); err != nil {
+		return 0, err
+	}
+	s.users = make(map[string][]features.WindowSample, len(snap.Users))
+	for id, samples := range snap.Users {
+		s.users[id] = samples
+	}
+	s.releaseModels(s.models)
+	s.models = make(map[string][]modelRef, len(newModels))
+	for id, refs := range newModels {
+		s.models[id] = s.trimVersions(id, refs)
+	}
+	s.nextSeq = snap.LastSeq + 1
+	s.snapBaseSeq = snap.LastSeq
+	s.hasSnapshot = true
+	s.snapshotTime = time.Now()
+	s.cs.Sweep()
+	return snap.LastSeq, nil
+}
+
+// resetLogLocked deletes every sealed segment and truncates the active
+// WAL — called after an installed snapshot supersedes the whole log.
+func (s *shard) resetLogLocked() error {
 	sealed, _, err := sealedSegments(s.dir)
 	if err == nil {
 		for _, p := range sealed {
@@ -404,24 +515,103 @@ func (s *shard) installSnapshot(data []byte) (uint64, error) {
 	s.orphanSealed = nil
 	s.sealedBytes = 0
 	if err := s.wal.Truncate(0); err != nil {
-		return 0, fmt.Errorf("store: reset wal after snapshot install: %w", err)
+		return fmt.Errorf("store: reset wal after snapshot install: %w", err)
 	}
 	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("store: rewind wal after snapshot install: %w", err)
+		return fmt.Errorf("store: rewind wal after snapshot install: %w", err)
 	}
 	s.walBytes = 0
 	s.sinceSnapshot = 0
-	s.users = make(map[string][]features.WindowSample, len(snap.Users))
-	for id, samples := range snap.Users {
-		s.users[id] = samples
+	return nil
+}
+
+// InstallShardDelta installs a shipped content-addressed snapshot body
+// plus the chunks the follower was missing: chunk bytes land in the CAS
+// first (hash-verified, held by a protect token), every referenced
+// manifest is made durable, and only then is the body published as the
+// shard's snapshot and the in-memory state and cursor swung to it.
+// Chunks the body references but the ship omitted must already be local
+// — that is the delta contract, and EnsureDurable enforces it.
+func (s *Store) InstallShardDelta(shard int, body []byte, chunks map[cas.Hash][]byte) (uint64, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return 0, fmt.Errorf("store: shard %d out of range [0,%d)", shard, len(s.shards))
 	}
-	s.models = make(map[string][]ModelVersion, len(snap.Models))
-	for id, versions := range snap.Models {
-		s.models[id] = s.trimVersions(id, versions)
+	return s.shards[shard].installDelta(body, chunks)
+}
+
+func (s *shard) installDelta(body []byte, chunks map[cas.Hash][]byte) (uint64, error) {
+	decoded, err := decodeCASBody(body)
+	if err != nil {
+		return 0, err
 	}
-	s.nextSeq = snap.LastSeq + 1
-	s.snapBaseSeq = snap.LastSeq
+	token := "delta:" + s.dir
+	defer func() {
+		// Runs after the shard lock is released (LIFO): drop the install
+		// window's protection and let the sweep reclaim anything the final
+		// pin set does not cover (including all shipped chunks on failure).
+		s.cs.Unprotect(token)
+		s.cs.Sweep()
+	}()
+	for h, data := range chunks {
+		if err := s.cs.PutChunk(token, h, data); err != nil {
+			return 0, fmt.Errorf("store: delta chunk install: %w", err)
+		}
+	}
+	for id, m := range decoded.Users {
+		if err := s.cs.EnsureDurable(token, m); err != nil {
+			return 0, fmt.Errorf("store: delta windows for %q: %w", id, err)
+		}
+	}
+	for id, versions := range decoded.Models {
+		for _, ref := range versions {
+			if err := s.cs.EnsureDurable(token, ref.Man); err != nil {
+				return 0, fmt.Errorf("store: delta model %q v%d: %w", id, ref.Version, err)
+			}
+		}
+	}
+	// Hydrate window data before taking the shard lock; the protect token
+	// keeps the chunks alive.
+	newUsers := make(map[string][]features.WindowSample, len(decoded.Users))
+	for id, m := range decoded.Users {
+		blob, err := s.cs.Get(m)
+		if err != nil {
+			return 0, fmt.Errorf("store: delta windows for %q: %w", id, err)
+		}
+		samples, err := decodeWindowBlob(blob)
+		if err != nil {
+			return 0, fmt.Errorf("store: delta windows for %q: %w", id, err)
+		}
+		newUsers[id] = samples
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if decoded.LastSeq < s.nextSeq-1 {
+		return 0, fmt.Errorf("store: delta at seq %d behind shard at %d", decoded.LastSeq, s.nextSeq-1)
+	}
+	if err := s.drainLocked(); err != nil {
+		return 0, fmt.Errorf("store: drain before delta install: %w", err)
+	}
+	if err := writeCASBodyFile(s.dir, body); err != nil {
+		return 0, err
+	}
+	s.cs.SetPins(s.dir, decoded.hashes())
+	if err := s.resetLogLocked(); err != nil {
+		return 0, err
+	}
+	s.users = newUsers
+	s.retainModels(decoded.Models)
+	s.releaseModels(s.models)
+	s.models = make(map[string][]modelRef, len(decoded.Models))
+	for id, refs := range decoded.Models {
+		s.models[id] = s.trimVersions(id, refs)
+	}
+	s.nextSeq = decoded.LastSeq + 1
+	s.snapBaseSeq = decoded.LastSeq
 	s.hasSnapshot = true
 	s.snapshotTime = time.Now()
-	return snap.LastSeq, nil
+	return decoded.LastSeq, nil
 }

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/features"
 )
 
@@ -43,7 +44,7 @@ var compactionTestHook func()
 type compactJob struct {
 	lastSeq uint64
 	users   map[string][]features.WindowSample
-	models  map[string][]ModelVersion
+	models  map[string][]modelRef
 	sealed  []string
 }
 
@@ -52,6 +53,9 @@ type compactJob struct {
 type shard struct {
 	dir string
 	opt Options
+	// cs is the store-wide content-addressed chunk store; model bundles
+	// and snapshot window blobs live there, the registry holds manifests.
+	cs *cas.Store
 	// idx is the shard's index in its parent store; notify, when set,
 	// receives every durable append (the replication fan-out). Both are
 	// fixed before the store is handed to any caller.
@@ -75,7 +79,7 @@ type shard struct {
 	snapshotTime  time.Time
 	hasSnapshot   bool
 	users         map[string][]features.WindowSample
-	models        map[string][]ModelVersion
+	models        map[string][]modelRef
 	recovery      Recovery
 	closed        bool
 	closing       bool
@@ -94,33 +98,34 @@ type shard struct {
 // openShard recovers one shard directory: snapshot, then sealed segments
 // in order, then the active WAL, truncating at the first damage. It
 // starts the shard's compaction worker.
-func openShard(dir string, opt Options) (*shard, error) {
+func openShard(dir string, opt Options, cs *cas.Store) (*shard, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create shard directory: %w", err)
 	}
 	s := &shard{
 		dir:        dir,
 		opt:        opt,
+		cs:         cs,
 		users:      make(map[string][]features.WindowSample),
-		models:     make(map[string][]ModelVersion),
+		models:     make(map[string][]modelRef),
 		workerDone: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 
-	snap, mtime, ok, err := loadSnapshot(dir)
+	state, mtime, ok, err := loadShardState(dir, cs)
 	if err != nil {
 		return nil, err
 	}
 	lastSeq := uint64(0)
 	if ok {
-		lastSeq = snap.LastSeq
-		s.snapBaseSeq = snap.LastSeq
+		lastSeq = state.lastSeq
+		s.snapBaseSeq = state.lastSeq
 		s.hasSnapshot = true
 		s.snapshotTime = mtime
-		for id, samples := range snap.Users {
+		for id, samples := range state.users {
 			s.users[id] = samples
 		}
-		for id, versions := range snap.Models {
+		for id, versions := range state.models {
 			s.models[id] = s.trimVersions(id, versions)
 		}
 	}
@@ -262,7 +267,10 @@ func (s *shard) apply(rec walRecord) {
 	case opReplace:
 		s.users[rec.User] = append([]features.WindowSample(nil), rec.Samples...)
 	case opPublish:
-		s.models[rec.User] = s.trimVersions(rec.User, append(s.models[rec.User], ModelVersion{Version: rec.Version, Bundle: rec.Bundle}))
+		// The bundle is interned into the CAS (memory-resident until the
+		// next snapshot flushes its chunks); the registry keeps a pointer.
+		ref := modelRef{Version: rec.Version, Man: s.cs.Put(rec.Bundle)}
+		s.models[rec.User] = s.trimVersions(rec.User, append(s.models[rec.User], ref))
 	}
 }
 
@@ -270,10 +278,10 @@ func (s *shard) apply(rec walRecord) {
 // history: Options.KeepModelVersions for users, and always just the
 // latest checkpoint for the drift-state key (each checkpoint supersedes
 // the previous one entirely, so keeping history would grow the registry
-// by a full fleet snapshot per flush). The kept suffix is copied so the
-// dropped versions' bundles become collectable instead of pinned by the
-// shared backing array.
-func (s *shard) trimVersions(id string, vs []ModelVersion) []ModelVersion {
+// by a full fleet snapshot per flush). Dropping a version is a refcount
+// decrement on its chunks — bytes shared with surviving versions stay,
+// and the rest become garbage for the next sweep.
+func (s *shard) trimVersions(id string, vs []modelRef) []modelRef {
 	k := s.opt.KeepModelVersions
 	if id == driftStateKey {
 		k = 1
@@ -281,7 +289,74 @@ func (s *shard) trimVersions(id string, vs []ModelVersion) []ModelVersion {
 	if k <= 0 || len(vs) <= k {
 		return vs
 	}
-	return append([]ModelVersion(nil), vs[len(vs)-k:]...)
+	for _, mv := range vs[:len(vs)-k] {
+		s.cs.Release(mv.Man)
+	}
+	return append([]modelRef(nil), vs[len(vs)-k:]...)
+}
+
+// retainModels/releaseModels bracket a captured copy-on-write view of the
+// registry (compaction job, snapshot encode, delta encode): while the
+// view is alive, a concurrent keep-last-K trim must not free the chunks
+// it points at.
+func (s *shard) retainModels(models map[string][]modelRef) {
+	for _, vs := range models {
+		for _, mv := range vs {
+			// Cannot fail: every ref in the live map holds its chunks.
+			_ = s.cs.Retain(mv.Man)
+		}
+	}
+}
+
+func (s *shard) releaseModels(models map[string][]modelRef) {
+	for _, vs := range models {
+		for _, mv := range vs {
+			s.cs.Release(mv.Man)
+		}
+	}
+}
+
+// modelBlob resolves one registry entry to its bundle bytes. version 0
+// means latest. The manifest is retained across the CAS read so a
+// concurrent trim cannot free its chunks between the registry lookup and
+// the reassembly.
+func (s *shard) modelBlob(id string, version int) ([]byte, cas.Hash, int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, cas.Hash{}, 0, ErrClosed
+	}
+	vs := s.models[id]
+	var ref modelRef
+	found := false
+	if version == 0 {
+		if len(vs) > 0 {
+			ref = vs[len(vs)-1]
+			found = true
+		}
+	} else {
+		for _, mv := range vs {
+			if mv.Version == version {
+				ref = mv
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		s.mu.Unlock()
+		return nil, cas.Hash{}, 0, ErrNoModel
+	}
+	// Cannot fail: the ref is in the live map, so its chunks are held.
+	_ = s.cs.Retain(ref.Man)
+	s.mu.Unlock()
+	defer s.cs.Release(ref.Man)
+
+	blob, err := s.cs.Get(ref.Man)
+	if err != nil {
+		return nil, cas.Hash{}, 0, fmt.Errorf("store: model %q v%d: %w", id, ref.Version, err)
+	}
+	return blob, ref.Man.Sum, ref.Version, nil
 }
 
 // append logs one record (WAL-first: the caller applies it in memory only
@@ -409,17 +484,22 @@ func (s *shard) queueCompactionLocked() {
 	for id, samples := range s.users {
 		users[id] = samples
 	}
-	models := make(map[string][]ModelVersion, len(s.models))
+	models := make(map[string][]modelRef, len(s.models))
 	for id, versions := range s.models {
 		models[id] = versions
 	}
+	// The job owns a reference on every captured manifest so a trim that
+	// lands before the snapshot write cannot free chunks the write needs.
+	s.retainModels(models)
 	sealed = append(sealed, s.orphanSealed...)
 	s.orphanSealed = nil
 	job := &compactJob{lastSeq: s.nextSeq - 1, users: users, models: models, sealed: sealed}
 	if s.pending != nil {
 		// Coalesce: the newer view supersedes the queued one; carry its
-		// sealed segments forward so they are still deleted.
+		// sealed segments forward so they are still deleted, and drop the
+		// superseded view's manifest references.
 		job.sealed = append(job.sealed, s.pending.sealed...)
+		s.releaseModels(s.pending.models)
 	}
 	s.pending = job
 	s.cond.Broadcast()
@@ -446,7 +526,13 @@ func (s *shard) worker() {
 		if hook := compactionTestHook; hook != nil {
 			hook()
 		}
-		err := writeSnapshot(s.dir, snapshot{LastSeq: job.lastSeq, Users: job.users, Models: job.models})
+		err := writeStateCAS(s.dir, s.cs, job.lastSeq, job.users, job.models)
+		s.releaseModels(job.models)
+		if err == nil {
+			// The new snapshot's pins are in place; anything the dropped
+			// versions no longer share is reclaimable now.
+			s.cs.Sweep()
+		}
 
 		s.mu.Lock()
 		s.compacting = false

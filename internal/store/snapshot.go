@@ -39,37 +39,9 @@ type snapshot struct {
 	Models  map[string][]ModelVersion          `json:"models"`
 }
 
-// writeSnapshot atomically replaces the snapshot file: write to a
-// temporary file in the same directory, fsync it, then rename over the
-// final name. A crash at any point leaves either the old snapshot or the
-// new one — never a half-written file. New snapshots are binary
-// (codec.go); a successful write removes any legacy JSON snapshot so the
-// directory holds a single source of truth.
-func writeSnapshot(dir string, snap snapshot) error {
-	data := encodeBinarySnapshot(snap)
-	tmp := filepath.Join(dir, snapshotBinFile+tmpSuffix)
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: create snapshot temp: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("store: write snapshot: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("store: sync snapshot: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("store: close snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, snapshotBinFile)); err != nil {
-		return fmt.Errorf("store: publish snapshot: %w", err)
-	}
-	syncDir(dir)
-	_ = os.Remove(filepath.Join(dir, snapshotFile))
-	return nil
-}
+// Snapshots are no longer written in this file's formats — compaction
+// writes the content-addressed layout (cas_state.go). loadSnapshot stays
+// as the read half so stores from earlier layouts migrate on open.
 
 // loadSnapshot reads the current snapshot — binary first, then the legacy
 // JSON file — reporting ok=false when neither exists. Stale temporaries

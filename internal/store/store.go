@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
@@ -152,6 +153,9 @@ type Stats struct {
 	// Shards reports per-shard record counts; its length is the store's
 	// shard count.
 	Shards []ShardStats
+	// CAS reports the content-addressed chunk store's occupancy (shared
+	// across shards).
+	CAS cas.Stats
 }
 
 // metaFile pins the shard count (and format generation) of a store
@@ -169,6 +173,10 @@ type Store struct {
 	dir    string
 	opt    Options
 	shards []*shard
+	// cs is the store-wide content-addressed chunk store (internal/cas):
+	// model bundles and snapshot window blobs are chunked into it, shared
+	// across versions and shards, and garbage-collected by sweep.
+	cs *cas.Store
 	// migration holds recovery counters from a legacy-layout migration,
 	// folded into Stats so the caller sees the full recovery picture.
 	migration Recovery
@@ -193,6 +201,11 @@ func Open(dir string, opt Options) (*Store, error) {
 	}
 
 	st := &Store{dir: dir}
+	cs, err := cas.Open(filepath.Join(dir, casDirName), opt.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	st.cs = cs
 	meta, hasMeta, err := readMeta(dir)
 	if err != nil {
 		return nil, err
@@ -207,7 +220,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	case hasLegacyLayout(dir) && shardCount > 1:
 		// Single-directory store (PR 1 layout, or a Shards=1 store)
 		// being opened with more shards: migrate in one pass.
-		rec, err := migrateLegacy(dir, opt, shardCount)
+		rec, err := migrateLegacy(dir, opt, shardCount, cs)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +237,7 @@ func Open(dir string, opt Options) (*Store, error) {
 
 	for i := 0; i < shardCount; i++ {
 		sd := shardDir(dir, i, shardCount)
-		sh, err := openShard(sd, opt)
+		sh, err := openShard(sd, opt, cs)
 		if err != nil {
 			for _, prev := range st.shards {
 				_ = prev.close()
@@ -252,7 +265,7 @@ func shardDir(dir string, i, count int) string {
 // hasLegacyLayout reports whether dir holds single-directory store state
 // (an active WAL or snapshot at the top level).
 func hasLegacyLayout(dir string) bool {
-	for _, name := range []string{walFile, snapshotFile, snapshotBinFile} {
+	for _, name := range []string{walFile, snapshotFile, snapshotBinFile, casSnapshotFile} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
 			return true
 		}
@@ -270,11 +283,11 @@ func hasLegacyLayout(dir string) bool {
 // snapshot per shard. The legacy files are removed only after every
 // shard snapshot has been atomically published, so a crash mid-migration
 // just migrates again from the untouched legacy state.
-func migrateLegacy(dir string, opt Options, count int) (Recovery, error) {
+func migrateLegacy(dir string, opt Options, count int, cs *cas.Store) (Recovery, error) {
 	legacyOpt := opt
 	legacyOpt.Shards = 1
 	legacyOpt.SnapshotEvery = -1 // recovery only; no compaction churn
-	legacy, err := openShard(dir, legacyOpt)
+	legacy, err := openShard(dir, legacyOpt, cs)
 	if err != nil {
 		return Recovery{}, fmt.Errorf("store: open legacy store for migration: %w", err)
 	}
@@ -285,30 +298,33 @@ func migrateLegacy(dir string, opt Options, count int) (Recovery, error) {
 		return Recovery{}, fmt.Errorf("store: close legacy store: %w", err)
 	}
 
-	parts := make([]snapshot, count)
-	for i := range parts {
-		parts[i] = snapshot{
-			Users:  make(map[string][]features.WindowSample),
-			Models: make(map[string][]ModelVersion),
-		}
+	partUsers := make([]map[string][]features.WindowSample, count)
+	partModels := make([]map[string][]modelRef, count)
+	for i := 0; i < count; i++ {
+		partUsers[i] = make(map[string][]features.WindowSample)
+		partModels[i] = make(map[string][]modelRef)
 	}
 	for id, samples := range users {
-		parts[shardIndex(id, count)].Users[id] = samples
+		partUsers[shardIndex(id, count)][id] = samples
 	}
 	for id, versions := range models {
-		parts[shardIndex(id, count)].Models[id] = versions
+		partModels[shardIndex(id, count)][id] = versions
 	}
-	for i, snap := range parts {
+	for i := 0; i < count; i++ {
 		sd := shardDir(dir, i, count)
 		if err := os.MkdirAll(sd, 0o755); err != nil {
 			return Recovery{}, fmt.Errorf("store: create shard directory: %w", err)
 		}
-		if err := writeSnapshot(sd, snap); err != nil {
+		if err := writeStateCAS(sd, cs, 0, partUsers[i], partModels[i]); err != nil {
 			return Recovery{}, fmt.Errorf("store: write shard %d snapshot: %w", i, err)
 		}
 	}
-	// Every record now lives in a shard snapshot; retire the legacy files.
-	for _, name := range []string{walFile, snapshotFile, snapshotBinFile} {
+	// Every record now lives in a shard snapshot; retire the legacy files
+	// and the legacy shard's transient CAS references (each shard's open
+	// will re-retain from its own snapshot). A crash before this point
+	// leaves the legacy state untouched and migrates again; the already
+	// written shard snapshots and chunks are simply rewritten.
+	for _, name := range []string{walFile, snapshotFile, snapshotBinFile, casSnapshotFile} {
 		_ = os.Remove(filepath.Join(dir, name))
 	}
 	if sealed, _, err := sealedSegments(dir); err == nil {
@@ -317,6 +333,12 @@ func migrateLegacy(dir string, opt Options, count int) (Recovery, error) {
 		}
 	}
 	syncDir(dir)
+	for _, vs := range models {
+		for _, mv := range vs {
+			cs.Release(mv.Man)
+		}
+	}
+	cs.SetPins(dir, nil)
 	return rec, nil
 }
 
@@ -444,16 +466,12 @@ func (s *Store) PublishDetector(det *ctxdetect.Detector) error {
 // LatestDetector loads the most recently published context detector.
 // Returns ErrNoModel when no detector has been published.
 func (s *Store) LatestDetector() (*ctxdetect.Detector, error) {
-	sh := s.shardFor(detectorKey)
-	sh.mu.Lock()
-	vs := sh.models[detectorKey]
-	var blob json.RawMessage
-	if len(vs) > 0 {
-		blob = vs[len(vs)-1].Bundle
-	}
-	sh.mu.Unlock()
-	if blob == nil {
+	blob, _, _, err := s.shardFor(detectorKey).modelBlob(detectorKey, 0)
+	if errors.Is(err, ErrNoModel) {
 		return nil, fmt.Errorf("%w: no published context detector", ErrNoModel)
+	}
+	if err != nil {
+		return nil, err
 	}
 	var det ctxdetect.Detector
 	if err := json.Unmarshal(blob, &det); err != nil {
@@ -479,57 +497,74 @@ func (s *Store) PublishDriftState(blob []byte) error {
 // LatestDriftState loads the most recent drift-state checkpoint. Returns
 // ErrNoModel when none has been published.
 func (s *Store) LatestDriftState() ([]byte, error) {
-	sh := s.shardFor(driftStateKey)
-	sh.mu.Lock()
-	vs := sh.models[driftStateKey]
-	var blob json.RawMessage
-	if len(vs) > 0 {
-		blob = vs[len(vs)-1].Bundle
-	}
-	sh.mu.Unlock()
-	if blob == nil {
+	blob, _, _, err := s.shardFor(driftStateKey).modelBlob(driftStateKey, 0)
+	if errors.Is(err, ErrNoModel) {
 		return nil, fmt.Errorf("%w: no published drift state", ErrNoModel)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return blob, nil
 }
 
 // LatestModel fetches the most recently published model for the user.
 func (s *Store) LatestModel(user string) (*core.ModelBundle, int, error) {
-	sh := s.shardFor(user)
-	sh.mu.Lock()
-	vs := sh.models[user]
-	var mv ModelVersion
-	if len(vs) > 0 {
-		mv = vs[len(vs)-1]
-	}
-	sh.mu.Unlock()
-	if mv.Version == 0 {
+	blob, _, version, err := s.shardFor(user).modelBlob(user, 0)
+	if errors.Is(err, ErrNoModel) {
 		return nil, 0, fmt.Errorf("%w for user %q", ErrNoModel, user)
 	}
-	bundle, err := core.UnmarshalModelBundle(mv.Bundle)
 	if err != nil {
 		return nil, 0, err
 	}
-	return bundle, mv.Version, nil
+	bundle, err := core.UnmarshalModelBundle(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bundle, version, nil
 }
 
 // ModelAt fetches a specific published version for the user. Versions
 // dropped by the retention policy return ErrNoModel.
 func (s *Store) ModelAt(user string, version int) (*core.ModelBundle, error) {
-	sh := s.shardFor(user)
-	sh.mu.Lock()
-	var blob json.RawMessage
-	for _, mv := range sh.models[user] {
-		if mv.Version == version {
-			blob = mv.Bundle
-			break
-		}
-	}
-	sh.mu.Unlock()
-	if blob == nil {
+	blob, _, _, err := s.shardFor(user).modelBlob(user, version)
+	if errors.Is(err, ErrNoModel) {
 		return nil, fmt.Errorf("%w: user %q version %d", ErrNoModel, user, version)
 	}
+	if err != nil {
+		return nil, err
+	}
 	return core.UnmarshalModelBundle(blob)
+}
+
+// LatestModelBlob fetches the latest published bundle for a registry key
+// as raw bytes plus its content hash and version. The transport layer
+// serves fetches from it so the hash can ride the response for
+// client-side conditional caching.
+func (s *Store) LatestModelBlob(user string) ([]byte, cas.Hash, int, error) {
+	return s.shardFor(user).modelBlob(user, 0)
+}
+
+// ModelBlobAt is LatestModelBlob for a specific version.
+func (s *Store) ModelBlobAt(user string, version int) ([]byte, cas.Hash, int, error) {
+	return s.shardFor(user).modelBlob(user, version)
+}
+
+// CASStats reports the content-addressed chunk store's occupancy.
+func (s *Store) CASStats() cas.Stats { return s.cs.Stats() }
+
+// CASHashes lists every chunk hash the store currently holds. The
+// replication hello uses it so a leader can skip shipping chunks a
+// lagging follower already has.
+func (s *Store) CASHashes() []cas.Hash { return s.cs.Hashes() }
+
+// CASChunk returns one chunk's verified bytes by hash.
+func (s *Store) CASChunk(h cas.Hash) ([]byte, error) { return s.cs.ChunkData(h) }
+
+// ScrubCAS re-hashes every chunk file and cross-checks it against the
+// live reference set; with remove set, unreferenced chunks are deleted.
+// Corrupt or missing live chunks are reported, never removed.
+func (s *Store) ScrubCAS(remove bool) (cas.ScrubReport, error) {
+	return s.cs.Scrub(remove)
 }
 
 // ModelVersions returns the latest published version per user.
@@ -600,6 +635,7 @@ func (s *Store) Stats() Stats {
 		}
 		sh.mu.Unlock()
 	}
+	st.CAS = s.cs.Stats()
 	return st
 }
 

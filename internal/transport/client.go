@@ -27,6 +27,19 @@ type Client struct {
 	// route, when non-nil, caches the cluster shard map and steers write
 	// requests straight to the owning node.
 	route *routeState
+
+	// cacheMu guards modelCache: the last fetched bundle per user, keyed
+	// by content hash for ETag-style conditional fetches (the server
+	// answers "unchanged" instead of resending an identical bundle).
+	cacheMu    sync.Mutex
+	modelCache map[string]cachedModel
+}
+
+// cachedModel is one FetchModel result kept for conditional re-fetches.
+type cachedModel struct {
+	version int
+	hash    string
+	bundle  *core.ModelBundle
 }
 
 // connPool caches idle connections per server address. The server holds
@@ -347,14 +360,40 @@ func (c *Client) TrainVersioned(userID string, p TrainParams) (*core.ModelBundle
 // model registry without retraining — how a phone re-acquires its model
 // after a reinstall, or rolls back to an earlier version. Version 0 asks
 // for the latest; the version actually served is returned.
+//
+// The client remembers the last bundle fetched per user together with
+// its content hash and sends the hash along on the next fetch; when the
+// registry still holds the same bytes the server answers "unchanged" and
+// the cached bundle is returned without the body crossing the wire.
 func (c *Client) FetchModel(userID string, version int) (*core.ModelBundle, int, error) {
+	req := fetchModelRequest{UserID: userID, Version: version}
+	c.cacheMu.Lock()
+	cached, haveCached := c.modelCache[userID]
+	c.cacheMu.Unlock()
+	if haveCached && (version == 0 || version == cached.version) {
+		req.IfHash = cached.hash
+	}
 	var resp fetchModelResponse
-	err := c.roundTrip(TypeFetchModel, fetchModelRequest{UserID: userID, Version: version}, &resp)
+	err := c.roundTrip(TypeFetchModel, req, &resp)
 	if err != nil {
 		return nil, 0, err
 	}
+	if resp.Unchanged {
+		if !haveCached || resp.Hash != cached.hash {
+			return nil, 0, fmt.Errorf("transport: server reported unchanged for a bundle not in this client's cache")
+		}
+		return cached.bundle, resp.Version, nil
+	}
 	if resp.Bundle == nil {
 		return nil, 0, fmt.Errorf("transport: server returned no model bundle")
+	}
+	if resp.Hash != "" {
+		c.cacheMu.Lock()
+		if c.modelCache == nil {
+			c.modelCache = make(map[string]cachedModel)
+		}
+		c.modelCache[userID] = cachedModel{version: resp.Version, hash: resp.Hash, bundle: resp.Bundle}
+		c.cacheMu.Unlock()
 	}
 	return resp.Bundle, resp.Version, nil
 }

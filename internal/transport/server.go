@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
 	"smarteryou/internal/features"
@@ -54,12 +55,22 @@ type trainResponse struct {
 type fetchModelRequest struct {
 	UserID  string `json:"user_id"`
 	Version int    `json:"version,omitempty"`
+	// IfHash is the hex content hash of the bundle the client already
+	// caches; when the registry's current bundle matches, the server
+	// answers Unchanged without resending the body.
+	IfHash string `json:"if_hash,omitempty"`
 }
 
 // fetchModelResponse carries a registered model and its version.
 type fetchModelResponse struct {
 	Version int               `json:"version"`
-	Bundle  *core.ModelBundle `json:"bundle"`
+	Bundle  *core.ModelBundle `json:"bundle,omitempty"`
+	// Hash is the served bundle's content hash (hex SHA-256 of the
+	// bundle bytes), the key for conditional re-fetches.
+	Hash string `json:"hash,omitempty"`
+	// Unchanged reports that the client's IfHash bundle is still
+	// current; Bundle is omitted.
+	Unchanged bool `json:"unchanged,omitempty"`
 }
 
 // authRequest asks the server to classify one feature window with the
@@ -771,19 +782,28 @@ func (s *Server) dispatch(env Envelope) Envelope {
 		}
 		anon := anonymize(req.UserID)
 		var (
-			bundle  *core.ModelBundle
-			version = req.Version
+			blob    []byte
+			hash    cas.Hash
+			version int
 			err     error
 		)
 		if req.Version == 0 {
-			bundle, version, err = s.persist.LatestModel(anon)
+			blob, hash, version, err = s.persist.LatestModelBlob(anon)
 		} else {
-			bundle, err = s.persist.ModelAt(anon, req.Version)
+			blob, hash, version, err = s.persist.ModelBlobAt(anon, req.Version)
 		}
 		if err != nil {
 			return fail(err)
 		}
-		return respond(TypeOK, fetchModelResponse{Version: version, Bundle: bundle})
+		hashHex := hash.Hex()
+		if req.IfHash != "" && req.IfHash == hashHex {
+			return respond(TypeOK, fetchModelResponse{Version: version, Hash: hashHex, Unchanged: true})
+		}
+		bundle, err := core.UnmarshalModelBundle(blob)
+		if err != nil {
+			return fail(err)
+		}
+		return respond(TypeOK, fetchModelResponse{Version: version, Bundle: bundle, Hash: hashHex})
 
 	case TypeShardMap:
 		if err := env.Open(s.key, nil); err != nil {

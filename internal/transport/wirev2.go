@@ -292,12 +292,39 @@ func readBundle(r *binio.Reader) (int, *core.ModelBundle) {
 }
 
 func (p fetchModelResponse) appendBinary(dst []byte) ([]byte, error) {
-	return appendBundle(dst, p.Version, p.Bundle)
+	dst = binio.AppendUvarint(dst, uint64(p.Version))
+	dst = binio.AppendString(dst, p.Hash)
+	if p.Unchanged {
+		return append(dst, 1), nil
+	}
+	dst = append(dst, 0)
+	blob, err := json.Marshal(p.Bundle)
+	if err != nil {
+		return nil, err
+	}
+	return binio.AppendBytes(dst, blob), nil
 }
 
 func (p *fetchModelResponse) decodeBinary(b []byte) error {
 	r := binio.NewReader(b)
-	p.Version, p.Bundle = readBundle(r)
+	p.Version = int(r.Uvarint())
+	p.Hash = r.Str()
+	switch flag := r.Byte(); flag {
+	case 1:
+		p.Unchanged = true
+	case 0:
+		blob := r.Bytes()
+		if r.Err() == nil {
+			var bundle core.ModelBundle
+			if err := json.Unmarshal(blob, &bundle); err != nil {
+				r.Fail("bundle blob: %s", err)
+			} else {
+				p.Bundle = &bundle
+			}
+		}
+	default:
+		r.Fail("unchanged flag %d", flag)
+	}
 	return finish(r)
 }
 

@@ -34,6 +34,7 @@ package smarteryou
 import (
 	"time"
 
+	"smarteryou/internal/cas"
 	"smarteryou/internal/cluster"
 	"smarteryou/internal/core"
 	"smarteryou/internal/ctxdetect"
@@ -308,6 +309,13 @@ type (
 	StoreStats = store.Stats
 	// StoreShardStats is one shard's slice of StoreStats.
 	StoreShardStats = store.ShardStats
+	// CASStats reports the content-addressed chunk store's occupancy
+	// (model bundles and snapshot window blobs, deduplicated by chunk).
+	CASStats = cas.Stats
+	// CASScrubReport is the result of PopulationStore.ScrubCAS: chunk
+	// files re-hashed against their names and cross-checked against the
+	// live reference set.
+	CASScrubReport = cas.ScrubReport
 )
 
 // OpenStore creates or recovers a durable population store rooted at dir:
